@@ -1,0 +1,101 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md §3).  The
+trained ChatFuzz model is expensive, so it is built once per session and
+cached on disk under ``.bench_cache/`` — delete the directory to retrain.
+
+Scaling: campaigns default to a few hundred tests (laptop-scale); set
+``CHATFUZZ_BENCH_SCALE`` (float ≥ 1) to run longer campaigns approaching
+paper scale.  Result tables are printed *and* appended to
+``bench_results.txt`` in the repository root, which EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.dataset.corpus import Corpus
+from repro.ml.lm_training import LMTrainConfig, LMTrainer
+from repro.ml.pipeline import LLMInputGenerator, PipelineConfig, ChatFuzzPipeline
+from repro.ml.tokenizer import HalfwordTokenizer
+from repro.ml.transformer import GPT2Config, GPT2LMModel
+from repro.soc.harness import make_rocket_harness
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CACHE_DIR = REPO_ROOT / ".bench_cache"
+RESULTS_PATH = REPO_ROOT / "bench_results.txt"
+
+#: Scale factor for campaign budgets (1.0 = laptop-scale defaults).
+SCALE = float(os.environ.get("CHATFUZZ_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale a test budget by CHATFUZZ_BENCH_SCALE."""
+    return max(16, int(n * SCALE))
+
+
+def emit(table: str) -> None:
+    """Print a result table and append it to bench_results.txt."""
+    print("\n" + table)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(table + "\n\n")
+
+
+BENCH_PIPELINE_CONFIG = PipelineConfig(
+    corpus_functions=250,
+    tokenizer_max_vocab=2048,
+    model=GPT2Config(dim=48, n_layers=2, n_heads=2, max_seq=80),
+    lm=LMTrainConfig(steps=450, batch_size=12, lr=2e-3),
+    step2_steps=6,
+    step3_steps=3,
+    ppo_batch_size=12,
+    response_instructions=20,
+)
+
+
+class TrainedChatFuzz:
+    """The trained artifacts a fuzzing campaign needs."""
+
+    def __init__(self, model, tokenizer, corpus):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.corpus = corpus
+
+    def generator(self, seed: int = 0,
+                  response_instructions: int = 20) -> LLMInputGenerator:
+        return LLMInputGenerator(
+            self.model, self.tokenizer, self.corpus,
+            prompt_bounds=(2, 5),
+            response_instructions=response_instructions,
+            seed=seed,
+        )
+
+
+def _train_and_cache() -> TrainedChatFuzz:
+    CACHE_DIR.mkdir(exist_ok=True)
+    model_path = CACHE_DIR / "model.npz"
+    tokenizer_path = CACHE_DIR / "tokenizer.json"
+    corpus_path = CACHE_DIR / "corpus.json"
+    if model_path.exists() and tokenizer_path.exists() and corpus_path.exists():
+        return TrainedChatFuzz(
+            GPT2LMModel.load(model_path),
+            HalfwordTokenizer.load(tokenizer_path),
+            Corpus.load(corpus_path),
+        )
+    pipeline = ChatFuzzPipeline(BENCH_PIPELINE_CONFIG)
+    pipeline.run_step1()
+    pipeline.run_step2()
+    pipeline.run_step3(make_rocket_harness())
+    pipeline.model.save(model_path)
+    pipeline.tokenizer.save(tokenizer_path)
+    pipeline.corpus.save(corpus_path)
+    return TrainedChatFuzz(pipeline.model, pipeline.tokenizer, pipeline.corpus)
+
+
+@pytest.fixture(scope="session")
+def chatfuzz() -> TrainedChatFuzz:
+    """The fully-trained (3-step) ChatFuzz model, cached across sessions."""
+    return _train_and_cache()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so pip
+cannot perform a PEP 660 editable install.  This shim lets
+``pip install -e . --no-build-isolation`` (and plain ``python setup.py
+develop``) fall back to the classic egg-link mechanism.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Analysis: bug classification and experiment reporting.
+
+- :mod:`repro.analysis.bugs` — maps unique mismatches to the paper's named
+  findings (Bug1/CWE-1202, Bug2/CWE-440, Findings 1–3).
+- :mod:`repro.analysis.report` — plain-text tables used by the benchmark
+  harness to print paper-style result rows.
+"""
+
+from repro.analysis.bugs import KNOWN_BUGS, BugMatch, classify_mismatches
+from repro.analysis.report import format_table
+
+__all__ = ["BugMatch", "KNOWN_BUGS", "classify_mismatches", "format_table"]

@@ -1,0 +1,24 @@
+"""Plain-text tables for benchmark output (paper-style result rows)."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by the
+    caller so benches control the precision they claim.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

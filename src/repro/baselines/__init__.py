@@ -1,0 +1,25 @@
+"""Baseline fuzzers the paper compares against (§II-A1, §V-A).
+
+All baselines plug into the same :class:`~repro.fuzzing.chatfuzz.FuzzLoop`
+as ChatFuzz — only the input generator differs:
+
+- :class:`~repro.baselines.thehuzz.TheHuzzGenerator` — random valid-
+  instruction seeds + coverage-guided mutation (bit/byte flip, swap, delete,
+  clone), modelled on TheHuzz [9].
+- :class:`~repro.baselines.difuzzrtl.DifuzzRTLGenerator` — same engine but
+  guided only by control-register coverage, DifuzzRTL's weaker feedback [8].
+- :class:`~repro.baselines.random_regression.RandomRegressionGenerator` —
+  feedback-free random instruction streams.
+"""
+
+from repro.baselines.difuzzrtl import DifuzzRTLGenerator
+from repro.baselines.mutations import MutationEngine
+from repro.baselines.random_regression import RandomRegressionGenerator
+from repro.baselines.thehuzz import TheHuzzGenerator
+
+__all__ = [
+    "DifuzzRTLGenerator",
+    "MutationEngine",
+    "RandomRegressionGenerator",
+    "TheHuzzGenerator",
+]

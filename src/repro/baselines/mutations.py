@@ -1,0 +1,126 @@
+"""Mutation operators for the baseline fuzzers (paper §II-A).
+
+"During each fuzzing round, the fuzzer manipulates the best test inputs from
+the preceding round using mutation operations like bit/byte flipping,
+swapping, deleting, or cloning" — this module implements exactly that set,
+plus the random *valid* instruction generator the seed stage uses (TheHuzz's
+"seed generator and mutation engine … can identify valid instructions from
+the ISA").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.encoder import encode
+from repro.isa.instructions import (
+    FMT_AMO,
+    FMT_B,
+    FMT_CSR,
+    FMT_CSR_IMM,
+    FMT_I,
+    FMT_I_SHIFT32,
+    FMT_I_SHIFT64,
+    FMT_J,
+    FMT_LR,
+    FMT_S,
+    FMT_U,
+    INSTRUCTIONS,
+)
+from repro.isa.spec import CSR_NAMES
+
+
+class MutationEngine:
+    """Random-valid-instruction generation and AFL-style word mutations."""
+
+    #: Mnemonics eligible for random seeding (every implemented instruction).
+    MNEMONICS = tuple(INSTRUCTIONS)
+    _CSRS = tuple(CSR_NAMES.values())
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # -- random valid instructions ------------------------------------------------
+
+    def random_instruction(self) -> int:
+        """One uniformly random *valid* instruction with random operands."""
+        mnemonic = self.rng.choice(self.MNEMONICS)
+        spec = INSTRUCTIONS[mnemonic]
+        rng = self.rng
+        kwargs: dict[str, int] = {}
+        fmt = spec.fmt
+        if fmt in (FMT_I, FMT_S):
+            kwargs["imm"] = rng.randrange(-2048, 2048)
+        elif fmt == FMT_B:
+            kwargs["imm"] = 2 * rng.randrange(-2048, 2048)
+        elif fmt == FMT_U:
+            kwargs["imm"] = rng.randrange(-(1 << 19), 1 << 19)
+        elif fmt == FMT_J:
+            kwargs["imm"] = 2 * rng.randrange(-(1 << 19), 1 << 19)
+        elif fmt in (FMT_I_SHIFT64,):
+            kwargs["shamt"] = rng.randrange(64)
+        elif fmt in (FMT_I_SHIFT32,):
+            kwargs["shamt"] = rng.randrange(32)
+        elif fmt in (FMT_CSR, FMT_CSR_IMM):
+            kwargs["csr"] = rng.choice(self._CSRS)
+            if fmt == FMT_CSR_IMM:
+                kwargs["zimm"] = rng.randrange(32)
+        if fmt in (FMT_AMO, FMT_LR):
+            kwargs["aq"] = rng.randrange(2)
+            kwargs["rl"] = rng.randrange(2)
+        for reg_field in ("rd", "rs1", "rs2"):
+            if reg_field in spec.operands:
+                kwargs[reg_field] = rng.randrange(32)
+        return encode(mnemonic, **kwargs)
+
+    def random_body(self, n_instructions: int) -> list[int]:
+        return [self.random_instruction() for _ in range(n_instructions)]
+
+    # -- mutations -------------------------------------------------------------------
+
+    def bit_flip(self, words: list[int]) -> list[int]:
+        out = list(words)
+        idx = self.rng.randrange(len(out))
+        out[idx] ^= 1 << self.rng.randrange(32)
+        return out
+
+    def byte_flip(self, words: list[int]) -> list[int]:
+        out = list(words)
+        idx = self.rng.randrange(len(out))
+        out[idx] ^= 0xFF << (8 * self.rng.randrange(4))
+        return out
+
+    def swap(self, words: list[int]) -> list[int]:
+        out = list(words)
+        if len(out) >= 2:
+            i, j = self.rng.sample(range(len(out)), 2)
+            out[i], out[j] = out[j], out[i]
+        return out
+
+    def delete(self, words: list[int]) -> list[int]:
+        out = list(words)
+        if len(out) >= 2:
+            del out[self.rng.randrange(len(out))]
+        return out
+
+    def clone(self, words: list[int]) -> list[int]:
+        out = list(words)
+        idx = self.rng.randrange(len(out))
+        out.insert(self.rng.randrange(len(out) + 1), out[idx])
+        return out
+
+    def replace_with_random(self, words: list[int]) -> list[int]:
+        out = list(words)
+        out[self.rng.randrange(len(out))] = self.random_instruction()
+        return out
+
+    _OPERATORS = ("bit_flip", "byte_flip", "swap", "delete", "clone",
+                  "replace_with_random")
+
+    def mutate(self, words: list[int], n_ops: int = 1) -> list[int]:
+        """Apply ``n_ops`` randomly chosen mutation operators."""
+        out = list(words)
+        for _ in range(n_ops):
+            op = getattr(self, self.rng.choice(self._OPERATORS))
+            out = op(out)
+        return out if out else self.random_body(1)

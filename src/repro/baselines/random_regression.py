@@ -1,0 +1,26 @@
+"""Random regression: the feedback-free baseline (paper §I).
+
+Generates independent random valid-instruction streams every batch and
+ignores all feedback — the traditional verification technique the paper
+says fuzzers outperform.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mutations import MutationEngine
+from repro.fuzzing.input import TestInput
+
+
+class RandomRegressionGenerator:
+    """Stateless random test generation."""
+
+    def __init__(self, body_instructions: int = 24, seed: int = 0) -> None:
+        self.body_instructions = body_instructions
+        self.engine = MutationEngine(seed=seed)
+
+    def generate_batch(self, n: int) -> list[TestInput]:
+        return [
+            TestInput(self.engine.random_body(self.body_instructions),
+                      source="seed")
+            for _ in range(n)
+        ]

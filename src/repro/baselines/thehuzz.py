@@ -1,0 +1,102 @@
+"""A TheHuzz-style coverage-guided mutation fuzzer (paper [9], §II-A1).
+
+Seeds are random streams of valid instructions; each round, the best inputs
+from the preceding round (by coverage score) are mutated with the classic
+operator set to form the next batch.  The engine knows *instructions* are
+valid but has "no well-defined feedback to determine a meaningful sequence
+of instructions" — the paper's core criticism, which is what the LLM
+generator adds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.mutations import MutationEngine
+from repro.fuzzing.input import TestInput
+
+
+class TheHuzzGenerator:
+    """Coverage-guided mutation generator with an elitist corpus.
+
+    Parameters
+    ----------
+    body_instructions:
+        Instructions per test (the paper holds this equal across fuzzers).
+    corpus_size:
+        Elite pool size; inputs enter it when their coverage score ranks.
+    seed_fraction:
+        Fraction of each batch drawn fresh from the random seed generator
+        (keeps exploration alive, as TheHuzz's scheduler does).
+    """
+
+    def __init__(
+        self,
+        body_instructions: int = 24,
+        corpus_size: int = 64,
+        seed_fraction: float = 0.2,
+        mutations_per_input: int = 1,
+        splice_probability: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.body_instructions = body_instructions
+        self.corpus_size = corpus_size
+        self.seed_fraction = seed_fraction
+        self.mutations_per_input = mutations_per_input
+        self.splice_probability = splice_probability
+        self.engine = MutationEngine(seed=seed)
+        self.rng = random.Random(seed + 1)
+        #: Interesting-input pool, AFL-style: inputs that found new coverage.
+        self.pool: list[list[int]] = []
+        self._next_parent = 0
+        #: Arms this fuzzer's feedback channel has seen (admission novelty).
+        self._seen: set[int] = set()
+
+    # -- feedback channel (subclasses narrow it; see DifuzzRTL) -----------------
+
+    def _visible_hits(self, report) -> set[int]:
+        """The cover-point subset this fuzzer's feedback channel observes."""
+        return set(report.hits)
+
+    # -- generation -----------------------------------------------------------
+
+    def _make_child(self) -> list[int]:
+        parent = self.pool[self._next_parent % len(self.pool)]
+        self._next_parent += 1
+        if len(self.pool) >= 2 and self.rng.random() < self.splice_probability:
+            # Splice: combine two interesting inputs, chaining the structure
+            # each one carries (AFL havoc's crossover stage).
+            other = self.pool[self.rng.randrange(len(self.pool))]
+            cut = self.rng.randrange(1, self.body_instructions)
+            parent = (parent[:cut] + other[cut:])[: self.body_instructions + 8]
+        return self.engine.mutate(parent, self.mutations_per_input)
+
+    def generate_batch(self, n: int) -> list[TestInput]:
+        batch: list[TestInput] = []
+        n_seeds = max(1, int(n * self.seed_fraction)) if self.pool else n
+        for _ in range(n_seeds):
+            batch.append(TestInput(
+                self.engine.random_body(self.body_instructions), source="seed"
+            ))
+        while len(batch) < n:
+            batch.append(TestInput(self._make_child(), source="mutation"))
+        return batch
+
+    # -- feedback ---------------------------------------------------------------
+
+    def observe(self, inputs, coverages, scores, reports=None) -> None:
+        """Admit inputs whose *visible* coverage contains unseen points."""
+        if reports is None:
+            for test, coverage in zip(inputs, coverages):
+                if coverage.incremental > 0:
+                    self.pool.append(list(test.words))
+        else:
+            for test, report in zip(inputs, reports):
+                new = self._visible_hits(report) - self._seen
+                if new:
+                    self._seen |= new
+                    self.pool.append(list(test.words))
+        # Keep the most recent discoveries when over budget (older entries
+        # have been mutated many times already).
+        if len(self.pool) > self.corpus_size:
+            del self.pool[: len(self.pool) - self.corpus_size]

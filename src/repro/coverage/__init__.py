@@ -1,0 +1,13 @@
+"""Coverage feedback: the paper's Coverage Calculator (§IV-B) and the input
+scoring used both by the fuzzing loop and the step-3 RL reward.
+
+- :class:`~repro.coverage.calculator.CoverageCalculator` — computes
+  stand-alone, incremental and total coverage per test input.
+- :class:`~repro.coverage.scoring.CoverageScorer` — turns those three values
+  into the scalar score/reward assigned to each generated input.
+"""
+
+from repro.coverage.calculator import CoverageCalculator, InputCoverage
+from repro.coverage.scoring import CoverageScorer, ScoreWeights
+
+__all__ = ["CoverageCalculator", "CoverageScorer", "InputCoverage", "ScoreWeights"]

@@ -1,0 +1,88 @@
+"""The Coverage Calculator (paper §IV-B).
+
+Receives per-test :class:`~repro.rtl.report.CoverageReport` objects from the
+RTL simulator and computes, for each test input:
+
+- **stand-alone coverage** — cover points attained by the input alone;
+- **incremental coverage** — newly achieved points relative to the total
+  recorded before this input (the paper computes increments against the
+  previous *batch*; both granularities are supported);
+- **total coverage** — the cumulative tally so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtl.report import CoverageReport, CumulativeCoverage
+
+
+@dataclass(frozen=True)
+class InputCoverage:
+    """The three coverage values the calculator assigns to one test input."""
+
+    standalone: int
+    incremental: int
+    total: int
+    total_arms: int
+
+    @property
+    def standalone_fraction(self) -> float:
+        return self.standalone / self.total_arms if self.total_arms else 0.0
+
+    @property
+    def total_fraction(self) -> float:
+        return self.total / self.total_arms if self.total_arms else 0.0
+
+    @property
+    def total_percent(self) -> float:
+        return 100.0 * self.total_fraction
+
+    @property
+    def improved(self) -> bool:
+        """Did this input reach any new cover point?"""
+        return self.incremental > 0
+
+
+class CoverageCalculator:
+    """Stateful accumulator over a fuzzing campaign.
+
+    ``batch_mode=True`` reproduces the paper exactly: incremental coverage is
+    measured against the total recorded at the end of the *previous batch*,
+    so inputs within a batch do not shadow each other.  With
+    ``batch_mode=False`` increments are against the running total.
+    """
+
+    def __init__(self, total_arms: int, batch_mode: bool = True) -> None:
+        self.cumulative = CumulativeCoverage(total_arms=total_arms)
+        self.batch_mode = batch_mode
+        self._batch_baseline: set[int] = set()
+
+    @property
+    def total_arms(self) -> int:
+        return self.cumulative.total_arms
+
+    @property
+    def total_percent(self) -> float:
+        return self.cumulative.percent
+
+    def begin_batch(self) -> None:
+        """Snapshot the baseline used for incremental coverage this batch."""
+        self._batch_baseline = set(self.cumulative.hits)
+
+    def observe(self, report: CoverageReport) -> InputCoverage:
+        """Fold one test's report into the totals and score it."""
+        baseline = self._batch_baseline if self.batch_mode else self.cumulative.hits
+        incremental = len(report.hits - baseline)
+        self.cumulative.merge(report)
+        return InputCoverage(
+            standalone=report.standalone_count,
+            incremental=incremental,
+            total=self.cumulative.count,
+            total_arms=self.cumulative.total_arms,
+        )
+
+    def observe_batch(self, reports: list[CoverageReport]) -> list[InputCoverage]:
+        """Score a whole generation batch (paper's granularity)."""
+        self.begin_batch()
+        return [self.observe(report) for report in reports]

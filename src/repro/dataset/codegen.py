@@ -1,0 +1,473 @@
+"""Synthetic compiler back-end: emits function-shaped RV64 machine code.
+
+The generator imitates what a compiler emits for C functions — the training
+distribution the paper harvests from the compiled Linux kernel:
+
+- standard prologue/epilogue with callee-saved spills and ``ret``;
+- pointer registers (sp/s0/gp/tp) used for addressing with small aligned
+  offsets; scalar registers carrying data-dependent value chains;
+- bounded counted loops, forward conditional skips, intra-function
+  call/return pairs;
+- M-extension arithmetic, LR/SC and AMO sequences, occasional CSR reads;
+- rare self-modifying "code patching" sequences (the kernel's alternatives
+  mechanism), half of which correctly issue ``FENCE.I`` — the other half are
+  exactly the Bug1 trigger.
+
+Every operand choice favours recently-written registers, producing the
+interdependent data/control-flow *entangled* sequences the paper says
+random-instruction fuzzers lack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.encoder import encode
+from repro.isa.spec import CSR_CYCLE, CSR_INSTRET, CSR_MHARTID
+
+#: Pointer registers: always hold valid data addresses (set by the harness
+#: preamble during fuzzing, by the ABI in real compiled code).
+POINTER_REGS = (2, 8, 3, 4, 9)  # sp, s0, gp, tp, s1
+#: Scalar (data) registers the generator allocates from.
+SCALAR_REGS = (10, 11, 12, 13, 14, 15, 16, 17, 5, 6, 7, 28, 29, 30, 18, 19, 20, 21)
+
+_ALU_RR = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+           "addw", "subw", "sllw", "srlw", "sraw")
+_ALU_RI = ("addi", "andi", "ori", "xori", "slti", "sltiu", "addiw")
+_SHIFT_I = ("slli", "srli", "srai", "slliw", "srliw", "sraiw")
+_MULDIV = ("mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu",
+           "mulw", "divw", "remw", "divuw", "remuw")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_AMO_D = ("amoadd.d", "amoswap.d", "amoor.d", "amoand.d", "amoxor.d",
+          "amomin.d", "amomax.d", "amominu.d", "amomaxu.d")
+_AMO_W = ("amoadd.w", "amoswap.w", "amoor.w", "amoand.w", "amoxor.w")
+_IMMEDIATES = (0, 1, -1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 100, 127, 255,
+               -2, -8, -16, 0x7F, 0x100, 0x3FF, -100)
+
+
+@dataclass(frozen=True)
+class CodegenConfig:
+    """Knobs of the synthetic compiler."""
+
+    min_snippets: int = 3
+    max_snippets: int = 10
+    #: Relative weights of each snippet kind in a function body.
+    weights: dict = field(
+        default_factory=lambda: {
+            "alu_chain": 30,
+            "load_compute_store": 22,
+            "loop_counted": 10,
+            "branch_skip": 12,
+            "muldiv_seq": 8,
+            "amo_seq": 5,
+            "lr_sc_pair": 3,
+            "store_load_forward": 4,
+            "csr_read": 2,
+            "call_pair": 4,
+            "smc_patch": 2,
+            "priv_drop": 1,
+            "fence_barrier": 3,
+            "assert_trap": 1,
+            "wild_pointer": 3,
+            "array_walk": 6,
+            "spill_reload": 6,
+            "nested_call": 2,
+            "contended_lock": 2,
+            "cmp_branch": 6,
+            "csr_roundtrip": 1,
+        }
+    )
+    #: Probability that an smc_patch snippet correctly emits FENCE.I.
+    fencei_probability: float = 0.5
+    #: Probability of picking a recently-written register as a source.
+    dependency_bias: float = 0.65
+
+
+@dataclass(frozen=True)
+class Function:
+    """One generated 'compiled function' (a training entry)."""
+
+    name: str
+    words: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class FunctionGenerator:
+    """Generates function-shaped machine code (see module docstring)."""
+
+    def __init__(self, config: CodegenConfig | None = None, seed: int = 0) -> None:
+        self.config = config or CodegenConfig()
+        self.rng = random.Random(seed)
+        self._counter = 0
+        kinds = list(self.config.weights)
+        weights = [self.config.weights[k] for k in kinds]
+        self._kinds = kinds
+        self._weights = weights
+
+    # -- register allocation helpers ------------------------------------------
+
+    def _src(self, recent: list[int]) -> int:
+        """A source register, biased toward recent results (dependencies)."""
+        if recent and self.rng.random() < self.config.dependency_bias:
+            return self.rng.choice(recent)
+        return self.rng.choice(SCALAR_REGS)
+
+    def _dst(self, recent: list[int]) -> int:
+        """A destination register; remembers it as 'recent'."""
+        reg = self.rng.choice(SCALAR_REGS)
+        recent.append(reg)
+        del recent[:-4]  # keep a short dependence window
+        return reg
+
+    def _ptr(self) -> int:
+        return self.rng.choice(POINTER_REGS)
+
+    def _off(self, align: int) -> int:
+        return align * self.rng.randrange(-8, 15)
+
+    # -- snippets ------------------------------------------------------------------
+
+    def _alu_chain(self, recent: list[int]) -> list[int]:
+        words = []
+        for _ in range(self.rng.randrange(2, 6)):
+            choice = self.rng.random()
+            if choice < 0.45:
+                words.append(encode(self.rng.choice(_ALU_RR),
+                                    rd=self._dst(recent),
+                                    rs1=self._src(recent),
+                                    rs2=self._src(recent)))
+            elif choice < 0.85:
+                words.append(encode(self.rng.choice(_ALU_RI),
+                                    rd=self._dst(recent),
+                                    rs1=self._src(recent),
+                                    imm=self.rng.choice(_IMMEDIATES)))
+            else:
+                mnemonic = self.rng.choice(_SHIFT_I)
+                limit = 32 if mnemonic.endswith("w") else 64
+                words.append(encode(mnemonic, rd=self._dst(recent),
+                                    rs1=self._src(recent),
+                                    shamt=self.rng.randrange(0, limit)))
+        return words
+
+    def _load_compute_store(self, recent: list[int]) -> list[int]:
+        ptr = self._ptr()
+        if self.rng.random() < 0.7:
+            load, store, align = "ld", "sd", 8
+        else:
+            load, store, align = "lw", "sw", 4
+        offset = self._off(align)
+        value = self._dst(recent)
+        words = [encode(load, rd=value, rs1=ptr, imm=offset)]
+        words += self._alu_chain(recent)[:2]
+        words.append(encode(store, rs2=self._src(recent), rs1=ptr,
+                            imm=self._off(align)))
+        return words
+
+    def _loop_counted(self, recent: list[int]) -> list[int]:
+        counter = self.rng.choice(SCALAR_REGS)
+        iterations = self.rng.randrange(2, 6)
+        body = self._alu_chain(recent)[: self.rng.randrange(1, 3)]
+        words = [encode("addi", rd=counter, rs1=0, imm=iterations)]
+        words += body
+        words.append(encode("addi", rd=counter, rs1=counter, imm=-1))
+        back = -4 * (len(body) + 1)
+        words.append(encode("bne", rs1=counter, rs2=0, imm=back))
+        return words
+
+    def _branch_skip(self, recent: list[int]) -> list[int]:
+        skipped = self._alu_chain(recent)[: self.rng.randrange(1, 4)]
+        mnemonic = self.rng.choice(_BRANCHES)
+        words = [encode(mnemonic, rs1=self._src(recent), rs2=self._src(recent),
+                        imm=4 * (len(skipped) + 1))]
+        words += skipped
+        return words
+
+    def _muldiv_seq(self, recent: list[int]) -> list[int]:
+        words = []
+        for _ in range(self.rng.randrange(1, 4)):
+            words.append(encode(self.rng.choice(_MULDIV),
+                                rd=self._dst(recent),
+                                rs1=self._src(recent),
+                                rs2=self._src(recent)))
+        return words
+
+    def _amo_seq(self, recent: list[int]) -> list[int]:
+        ptr = self._ptr()
+        if self.rng.random() < 0.6:
+            mnemonics, align = _AMO_D, 8
+        else:
+            mnemonics, align = _AMO_W, 4
+        rd = 0 if self.rng.random() < 0.15 else self._dst(recent)
+        words = [encode(self.rng.choice(mnemonics), rd=rd, rs1=ptr,
+                        rs2=self._src(recent),
+                        aq=self.rng.randrange(2), rl=self.rng.randrange(2))]
+        if rd and self.rng.random() < 0.5:
+            # Chain: the fetched old value feeds the next atomic (the
+            # read-modify-write-retry shape of lockless updates).
+            words.append(encode(self.rng.choice(mnemonics),
+                                rd=self._dst(recent), rs1=ptr, rs2=rd))
+        return words
+
+    def _lr_sc_pair(self, recent: list[int]) -> list[int]:
+        ptr = self._ptr()
+        wide = self.rng.random() < 0.6
+        loaded = self._dst(recent)
+        status = self._dst(recent)
+        words = [
+            encode("lr.d" if wide else "lr.w", rd=loaded, rs1=ptr),
+            encode("addi", rd=loaded, rs1=loaded, imm=1),
+            encode("sc.d" if wide else "sc.w", rd=status, rs1=ptr, rs2=loaded),
+        ]
+        return words
+
+    def _store_load_forward(self, recent: list[int]) -> list[int]:
+        ptr = self._ptr()
+        offset = self._off(8)
+        return [
+            encode("sd", rs2=self._src(recent), rs1=ptr, imm=offset),
+            encode("ld", rd=self._dst(recent), rs1=ptr, imm=offset),
+        ]
+
+    def _csr_read(self, recent: list[int]) -> list[int]:
+        csr = self.rng.choice((CSR_CYCLE, CSR_INSTRET, CSR_MHARTID))
+        return [encode("csrrs", rd=self._dst(recent), csr=csr, rs1=0)]
+
+    def _call_pair(self, recent: list[int]) -> list[int]:
+        """An intra-function call: jal over the continuation to a local
+        helper that returns; the continuation then jumps past the helper."""
+        continuation = self._alu_chain(recent)[: self.rng.randrange(1, 3)]
+        helper = self._alu_chain(recent)[: self.rng.randrange(1, 3)]
+        words = [encode("jal", rd=1, imm=4 * (len(continuation) + 2))]
+        words += continuation
+        words.append(encode("jal", rd=0, imm=4 * (len(helper) + 2)))
+        words += helper
+        words.append(encode("jalr", rd=0, rs1=1, imm=0))
+        return words
+
+    def _smc_patch(self, recent: list[int]) -> list[int]:
+        """Code patching (the kernel-alternatives shape): execute the target
+        once, overwrite it with ``addi t2, t2, 1``, execute it again.
+        Half the time the required FENCE.I is present; the other half is
+        exactly the Bug1 (CWE-1202) trigger — the second execution fetches
+        the stale pre-patch instruction from the I-cache."""
+        patched = encode("addi", rd=7, rs1=7, imm=1)
+        use_fencei = self.rng.random() < self.config.fencei_probability
+        # Build the 32-bit patch constant with the usual lui+addi split.
+        upper = (patched + (1 << 11)) >> 12
+        lower = patched - (upper << 12)
+        return [
+            encode("auipc", rd=6, imm=0),          # w0: t1 = pc
+            encode("addi", rd=6, rs1=6, imm=36),   # w1: t1 = &target (w9)
+            encode("lui", rd=5, imm=upper),        # w2: t0 = patch word
+            encode("addi", rd=5, rs1=5, imm=lower),  # w3
+            encode("addi", rd=28, rs1=0, imm=0),   # w4: t3 = pass counter
+            encode("jal", rd=0, imm=16),           # w5: first pass -> w9
+            encode("sw", rs2=5, rs1=6, imm=0),     # w6: patch the target
+            encode("fence.i") if use_fencei
+            else encode("addi", rd=0, rs1=0, imm=0),  # w7
+            encode("jal", rd=0, imm=4),            # w8: second pass -> w9
+            encode("addi", rd=7, rs1=7, imm=2),    # w9: TARGET
+            encode("bne", rs1=28, rs2=0, imm=12),  # w10: done after pass 2
+            encode("addi", rd=28, rs1=0, imm=1),   # w11: mark pass 2
+            encode("jal", rd=0, imm=-24),          # w12: back to patch (w6)
+        ]
+
+    def _priv_drop(self, recent: list[int]) -> list[int]:
+        """Drop to U-mode via mret, then ecall back (covers U-mode paths)."""
+        return [
+            encode("auipc", rd=5, imm=0),             # t0 = pc
+            encode("addi", rd=5, rs1=5, imm=28),      # return point: the ecall
+            encode("csrrw", rd=0, csr=0x341, rs1=5),  # mepc = t0
+            encode("lui", rd=6, imm=2),               # t1 = 0x2000
+            encode("addi", rd=6, rs1=6, imm=-0x800),  # t1 = 0x1800 (MPP mask)
+            encode("csrrc", rd=0, csr=0x300, rs1=6),  # clear mstatus.MPP -> U
+            encode("mret"),                           # enter U-mode
+            encode("ecall"),                          # U-mode ecall (cause 8)
+        ]
+
+    def _fence_barrier(self, recent: list[int]) -> list[int]:
+        """Memory barrier around a store, as lock/unlock code emits.
+        Occasionally a bare FENCE.I (module-init style, possibly with a
+        clean cache)."""
+        if self.rng.random() < 0.2:
+            return [encode("fence.i")]
+        ptr = self._ptr()
+        return [
+            encode("fence"),
+            encode("sd", rs2=self._src(recent), rs1=ptr, imm=self._off(8)),
+            encode("fence"),
+        ]
+
+    def _assert_trap(self, recent: list[int]) -> list[int]:
+        """A BUG()-style guarded ebreak: branch over it unless the 'assert'
+        fires (compares a register against itself + 1, so it never fires in
+        corpus code — but mutated/completed variants do)."""
+        reg = self._src(recent)
+        return [
+            encode("beq", rs1=reg, rs2=reg, imm=8),  # always skips the ebreak
+            encode("ebreak"),
+        ]
+
+    def _wild_pointer(self, recent: list[int]) -> list[int]:
+        """Dereference a computed pointer (a scalar register): compiled code
+        chases pointers whose values are data-dependent — under fuzzing they
+        are usually garbage and fault, exercising the access-fault paths."""
+        return [
+            encode("ld", rd=self._dst(recent), rs1=self._src(recent),
+                   imm=self._off(8)),
+        ]
+
+    def _array_walk(self, recent: list[int]) -> list[int]:
+        """Strided sweep over a buffer: the memcpy/memset shape.  Exercises
+        line streaming, set conflicts and victim revisits."""
+        ptr = self._ptr()
+        stride = self.rng.choice((8, 16, 32))
+        start = self._off(8)
+        count = self.rng.randrange(3, 7)
+        words = []
+        value = self._dst(recent)
+        for i in range(count):
+            offset = start + stride * i
+            if not -2048 <= offset < 2048:
+                break
+            if self.rng.random() < 0.5:
+                words.append(encode("ld", rd=value, rs1=ptr, imm=offset))
+            else:
+                words.append(encode("sd", rs2=self._src(recent), rs1=ptr,
+                                    imm=offset))
+        return words
+
+    def _spill_reload(self, recent: list[int]) -> list[int]:
+        """Register spill: store to an sp slot, compute, reload the slot."""
+        offset = 8 * self.rng.randrange(0, 8)
+        spilled = self._src(recent)
+        words = [encode("sd", rs2=spilled, rs1=2, imm=offset)]
+        words += self._alu_chain(recent)[: self.rng.randrange(1, 3)]
+        words.append(encode("ld", rd=self._dst(recent), rs1=2, imm=offset))
+        return words
+
+    def _nested_call(self, recent: list[int]) -> list[int]:
+        """A call made while another call's return address is spilled —
+        the standard non-leaf-function shape."""
+        leaf = self._alu_chain(recent)[:1]
+        return [
+            encode("sd", rs2=1, rs1=2, imm=-8),        # save outer ra
+            encode("jal", rd=1, imm=8),                # call the leaf below
+            encode("jal", rd=0, imm=4 * (len(leaf) + 2)),  # skip leaf after ret
+            *leaf,
+            encode("jalr", rd=0, rs1=1, imm=0),        # leaf return
+            encode("ld", rd=1, rs1=2, imm=-8),         # restore outer ra
+        ]
+
+    def _contended_lock(self, recent: list[int]) -> list[int]:
+        """LR / interfering store / SC: the failing-reservation shape of a
+        contended lock acquisition."""
+        ptr = self._ptr()
+        loaded = self._dst(recent)
+        status = self._dst(recent)
+        return [
+            encode("lr.d", rd=loaded, rs1=ptr),
+            encode("sd", rs2=self._src(recent), rs1=ptr, imm=0),
+            encode("sc.d", rd=status, rs1=ptr, rs2=loaded),
+        ]
+
+    def _cmp_branch(self, recent: list[int]) -> list[int]:
+        """Compare-then-branch: slt feeding a bne/beq, compiled `if (a<b)`."""
+        flag = self._dst(recent)
+        cmp_op = self.rng.choice(("slt", "sltu", "slti", "sltiu"))
+        skipped = self._alu_chain(recent)[: self.rng.randrange(1, 3)]
+        if cmp_op in ("slt", "sltu"):
+            first = encode(cmp_op, rd=flag, rs1=self._src(recent),
+                           rs2=self._src(recent))
+        else:
+            first = encode(cmp_op, rd=flag, rs1=self._src(recent),
+                           imm=self.rng.choice(_IMMEDIATES))
+        branch = self.rng.choice(("beq", "bne"))
+        words = [first,
+                 encode(branch, rs1=flag, rs2=0, imm=4 * (len(skipped) + 1))]
+        words += skipped
+        return words
+
+    def _csr_roundtrip(self, recent: list[int]) -> list[int]:
+        """Write mscratch, then read it back (context-switch save idiom)."""
+        return [
+            encode("csrrw", rd=0, csr=0x340, rs1=self._src(recent)),
+            encode("csrrs", rd=self._dst(recent), csr=0x340, rs1=0),
+        ]
+
+    _SNIPPETS = {
+        "alu_chain": _alu_chain,
+        "load_compute_store": _load_compute_store,
+        "loop_counted": _loop_counted,
+        "branch_skip": _branch_skip,
+        "muldiv_seq": _muldiv_seq,
+        "amo_seq": _amo_seq,
+        "lr_sc_pair": _lr_sc_pair,
+        "store_load_forward": _store_load_forward,
+        "csr_read": _csr_read,
+        "call_pair": _call_pair,
+        "smc_patch": _smc_patch,
+        "priv_drop": _priv_drop,
+        "fence_barrier": _fence_barrier,
+        "assert_trap": _assert_trap,
+        "wild_pointer": _wild_pointer,
+        "array_walk": _array_walk,
+        "spill_reload": _spill_reload,
+        "nested_call": _nested_call,
+        "contended_lock": _contended_lock,
+        "cmp_branch": _cmp_branch,
+        "csr_roundtrip": _csr_roundtrip,
+    }
+
+    # -- function assembly ------------------------------------------------------
+
+    def prologue(self, frame: int, saves: int) -> list[int]:
+        words = [encode("addi", rd=2, rs1=2, imm=-frame)]
+        for i in range(saves):
+            words.append(encode("sd", rs2=(1 if i == 0 else 7 + i),
+                                rs1=2, imm=8 * i))
+        return words
+
+    def epilogue(self, frame: int, saves: int) -> list[int]:
+        words = []
+        for i in range(saves):
+            words.append(encode("ld", rd=(1 if i == 0 else 7 + i),
+                                rs1=2, imm=8 * i))
+        words.append(encode("addi", rd=2, rs1=2, imm=frame))
+        words.append(encode("jalr", rd=0, rs1=1, imm=0))  # ret
+        return words
+
+    def function(self) -> Function:
+        """Generate one complete function."""
+        self._counter += 1
+        frame = 8 * self.rng.randrange(2, 6)
+        saves = self.rng.randrange(1, min(4, frame // 8 + 1))
+        recent: list[int] = []
+        words = self.prologue(frame, saves)
+        n_snippets = self.rng.randrange(self.config.min_snippets,
+                                        self.config.max_snippets + 1)
+        for _ in range(n_snippets):
+            kind = self.rng.choices(self._kinds, weights=self._weights, k=1)[0]
+            words += self._SNIPPETS[kind](self, recent)
+        words += self.epilogue(frame, saves)
+        return Function(name=f"func_{self._counter:06d}", words=tuple(words))
+
+
+def generate_binary(
+    n_functions: int,
+    seed: int = 0,
+    config: CodegenConfig | None = None,
+) -> list[int]:
+    """Emit a flat 'compiled binary': concatenated functions with alignment
+    padding (zero words), as a linker would lay them out.  Use
+    :func:`repro.dataset.extraction.extract_functions` to recover them."""
+    generator = FunctionGenerator(config, seed=seed)
+    words: list[int] = []
+    for _ in range(n_functions):
+        words += generator.function().words
+        while len(words) % 4:  # 16-byte function alignment
+            words.append(0)
+    return words

@@ -1,0 +1,66 @@
+"""Static function extraction from flat binaries (paper §III-A2).
+
+The paper disassembles compiled binaries and "automatically identif[ies] the
+start and end locations of functions", making each function one training
+entry.  This module performs the same recovery on our synthetic binaries
+using the standard signature heuristics a disassembler would use:
+
+- a function *starts* at a stack-allocating ``addi sp, sp, -N``;
+- it *ends* at the first ``ret`` (``jalr x0, 0(ra)``) at or below the
+  starting stack depth;
+- alignment padding (zero words, which are not valid instructions) between
+  functions is discarded.
+"""
+
+from __future__ import annotations
+
+from repro.isa.decoder import decode
+
+
+def _is_stack_alloc(word: int) -> bool:
+    instr = decode(word)
+    return (
+        instr is not None
+        and instr.mnemonic == "addi"
+        and instr.rd == 2
+        and instr.rs1 == 2
+        and instr.imm < 0
+    )
+
+
+def _is_ret(word: int) -> bool:
+    instr = decode(word)
+    return (
+        instr is not None
+        and instr.mnemonic == "jalr"
+        and instr.rd == 0
+        and instr.rs1 == 1
+        and instr.imm == 0
+    )
+
+
+def extract_functions(binary: list[int], max_len: int = 512) -> list[tuple[int, ...]]:
+    """Recover per-function word sequences from a flat binary image.
+
+    Returns the list of functions in layout order.  Sequences longer than
+    ``max_len`` are truncated (guards against mis-detected starts).
+    """
+    functions: list[tuple[int, ...]] = []
+    i = 0
+    n = len(binary)
+    while i < n:
+        if not _is_stack_alloc(binary[i]):
+            i += 1
+            continue
+        start = i
+        end = None
+        for j in range(start + 1, min(n, start + max_len)):
+            if _is_ret(binary[j]):
+                end = j
+                break
+        if end is None:
+            i += 1
+            continue
+        functions.append(tuple(binary[start : end + 1]))
+        i = end + 1
+    return functions

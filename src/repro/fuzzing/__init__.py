@@ -1,0 +1,29 @@
+"""The fuzzing loop (paper Figure 1a and §III-C).
+
+- :class:`~repro.fuzzing.chatfuzz.FuzzLoop` — batch generation, differential
+  execution (DUT vs golden), coverage accounting, mismatch detection.
+- :class:`~repro.fuzzing.mismatch.MismatchDetector` — trace diffing with
+  signature-based unique-mismatch filtering and user filters (§IV-A).
+- :class:`~repro.fuzzing.simclock.SimClock` — the simulated wall-clock that
+  maps test counts to the paper's time axis (DESIGN.md §1).
+- :class:`~repro.fuzzing.campaign.Campaign` — drives a fuzzer to a
+  test-count / sim-time / coverage target and records the coverage curve.
+"""
+
+from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
+from repro.fuzzing.chatfuzz import FuzzLoop
+from repro.fuzzing.input import TestInput
+from repro.fuzzing.mismatch import Mismatch, MismatchDetector, counter_csr_filter
+from repro.fuzzing.simclock import SimClock
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CurvePoint",
+    "FuzzLoop",
+    "Mismatch",
+    "MismatchDetector",
+    "SimClock",
+    "TestInput",
+    "counter_csr_filter",
+]

@@ -1,0 +1,113 @@
+"""Campaign driver: run a fuzzer to a budget, record the coverage curve.
+
+Benches use this to regenerate the paper's evaluation artifacts: Figure 2's
+coverage-over-time series and the coverage-at-budget / time-to-coverage
+numbers of §V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fuzzing.chatfuzz import FuzzLoop
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One sample of the campaign's coverage trajectory."""
+
+    tests: int
+    sim_hours: float
+    coverage_percent: float
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one fuzzing campaign."""
+
+    name: str
+    curve: list[CurvePoint] = field(default_factory=list)
+    tests_run: int = 0
+    sim_hours: float = 0.0
+    final_coverage_percent: float = 0.0
+    raw_mismatches: int = 0
+    unique_mismatches: int = 0
+
+    def coverage_at_tests(self, n: int) -> float:
+        """Coverage percent at the last curve point with <= n tests."""
+        best = 0.0
+        for point in self.curve:
+            if point.tests <= n:
+                best = point.coverage_percent
+        return best
+
+    def time_to_coverage(self, percent: float) -> float | None:
+        """Simulated hours when coverage first reached ``percent``, or None."""
+        for point in self.curve:
+            if point.coverage_percent >= percent:
+                return point.sim_hours
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.tests_run} tests, "
+            f"{self.sim_hours:.2f} sim-hours, "
+            f"coverage {self.final_coverage_percent:.2f}%, "
+            f"mismatches raw={self.raw_mismatches} unique={self.unique_mismatches}"
+        )
+
+
+class Campaign:
+    """Runs a :class:`FuzzLoop` until a test/time/coverage budget is hit."""
+
+    def __init__(self, loop: FuzzLoop, name: str = "campaign") -> None:
+        self.loop = loop
+        self.name = name
+
+    def _snapshot(self, result: CampaignResult) -> None:
+        result.curve.append(CurvePoint(
+            tests=self.loop.tests_run,
+            sim_hours=self.loop.clock.hours,
+            coverage_percent=self.loop.total_percent,
+        ))
+
+    def _finalize(self, result: CampaignResult) -> CampaignResult:
+        result.tests_run = self.loop.tests_run
+        result.sim_hours = self.loop.clock.hours
+        result.final_coverage_percent = self.loop.total_percent
+        result.raw_mismatches = self.loop.detector.raw_count
+        result.unique_mismatches = self.loop.detector.unique_count
+        return result
+
+    def run_tests(self, n_tests: int) -> CampaignResult:
+        """Run until at least ``n_tests`` tests have executed."""
+        result = CampaignResult(name=self.name)
+        self._snapshot(result)
+        while self.loop.tests_run < n_tests:
+            self.loop.run_batch()
+            self._snapshot(result)
+        return self._finalize(result)
+
+    def run_sim_hours(self, hours: float, max_tests: int | None = None) -> CampaignResult:
+        """Run until the simulated clock passes ``hours``."""
+        result = CampaignResult(name=self.name)
+        self.loop.clock.start()
+        self._snapshot(result)
+        while self.loop.clock.hours < hours:
+            if max_tests is not None and self.loop.tests_run >= max_tests:
+                break
+            self.loop.run_batch()
+            self._snapshot(result)
+        return self._finalize(result)
+
+    def run_to_coverage(self, percent: float, max_tests: int) -> CampaignResult:
+        """Run until total coverage reaches ``percent`` (or the test cap)."""
+        result = CampaignResult(name=self.name)
+        self._snapshot(result)
+        while (
+            self.loop.total_percent < percent
+            and self.loop.tests_run < max_tests
+        ):
+            self.loop.run_batch()
+            self._snapshot(result)
+        return self._finalize(result)

@@ -1,0 +1,113 @@
+"""The fuzzing loop of Figure 1a.
+
+Generic over the input generator, so the same loop drives ChatFuzz (the LLM
+generator), TheHuzz, DifuzzRTL and random regression — only the generator
+differs, which is exactly the paper's experimental control.
+
+Per batch:
+
+1. the generator produces test bodies;
+2. each body runs on the DUT (trace + coverage report) and on the golden ISS
+   (trace);
+3. the Mismatch Detector diffs the traces;
+4. the Coverage Calculator scores each input (stand-alone / incremental /
+   total) and the scores are fed back to the generator via ``observe`` —
+   mutation fuzzers use them for corpus selection; the LLM generator may use
+   them for online PPO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coverage.calculator import CoverageCalculator, InputCoverage
+from repro.coverage.scoring import CoverageScorer
+from repro.fuzzing.input import TestInput
+from repro.fuzzing.mismatch import MismatchDetector, counter_csr_filter
+from repro.fuzzing.simclock import SimClock
+
+
+@dataclass
+class BatchOutcome:
+    """Everything the loop learned from one generation batch."""
+
+    inputs: list[TestInput]
+    coverages: list[InputCoverage]
+    scores: list[float]
+    mismatch_count: int
+    total_percent: float
+
+
+class FuzzLoop:
+    """The differential fuzzing loop (see module docstring).
+
+    Parameters
+    ----------
+    generator:
+        Object with ``generate_batch(n) -> list[list[int]]`` and optionally
+        ``observe(inputs, coverages, scores)`` for feedback-driven fuzzers.
+    harness:
+        A :class:`~repro.soc.harness.DutHarness`.
+    batch_size:
+        Tests per generation batch (the paper's batch granularity drives
+        incremental-coverage baselines).
+    use_default_filters:
+        Install the counter-CSR false-positive filter (paper §IV-A).
+    """
+
+    def __init__(
+        self,
+        generator,
+        harness,
+        batch_size: int = 16,
+        clock: SimClock | None = None,
+        use_default_filters: bool = True,
+        scorer: CoverageScorer | None = None,
+    ) -> None:
+        self.generator = generator
+        self.harness = harness
+        self.batch_size = batch_size
+        self.clock = clock or SimClock()
+        self.calculator = CoverageCalculator(harness.total_arms, batch_mode=True)
+        self.scorer = scorer or CoverageScorer()
+        self.detector = MismatchDetector(
+            filters=[counter_csr_filter] if use_default_filters else []
+        )
+        self.tests_run = 0
+
+    # -- one batch ------------------------------------------------------------
+
+    def run_batch(self) -> BatchOutcome:
+        bodies = self.generator.generate_batch(self.batch_size)
+        inputs = [
+            body if isinstance(body, TestInput) else TestInput(list(body))
+            for body in bodies
+        ]
+        self.calculator.begin_batch()
+        coverages: list[InputCoverage] = []
+        reports = []
+        mismatches = 0
+        for test in inputs:
+            dut_trace, gold_trace, report = self.harness.run_differential(
+                test.words
+            )
+            mismatches += len(self.detector.observe(dut_trace, gold_trace))
+            coverages.append(self.calculator.observe(report))
+            reports.append(report)
+        self.clock.charge_tests(len(inputs))
+        self.tests_run += len(inputs)
+        scores = self.scorer.score_batch(coverages)
+        observe = getattr(self.generator, "observe", None)
+        if observe is not None:
+            observe(inputs, coverages, scores, reports)
+        return BatchOutcome(
+            inputs=inputs,
+            coverages=coverages,
+            scores=scores,
+            mismatch_count=mismatches,
+            total_percent=self.calculator.total_percent,
+        )
+
+    @property
+    def total_percent(self) -> float:
+        return self.calculator.total_percent

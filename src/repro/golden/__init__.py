@@ -1,0 +1,30 @@
+"""Golden-model instruction-set simulator (the paper's Spike stand-in).
+
+A spec-faithful RV64IMA_Zicsr executor with M/U privilege, full synchronous
+trap priority, and commit-log tracing.  The differential fuzzing loop
+(:mod:`repro.fuzzing`) runs every test input here and on the DUT
+(:mod:`repro.soc`), then diffs the two traces.
+
+Public API
+----------
+- :class:`~repro.golden.simulator.GoldenSimulator` — load + run programs.
+- :class:`~repro.golden.trace.CommitTrace` / ``TraceEntry`` — the commit-log
+  format shared with the SoC harness.
+- :class:`~repro.golden.memory.SparseMemory` — byte-addressed sparse memory.
+"""
+
+from repro.golden.exceptions import Trap
+from repro.golden.memory import SparseMemory
+from repro.golden.simulator import GoldenSimulator, SimConfig
+from repro.golden.state import ArchState
+from repro.golden.trace import CommitTrace, TraceEntry
+
+__all__ = [
+    "ArchState",
+    "CommitTrace",
+    "GoldenSimulator",
+    "SimConfig",
+    "SparseMemory",
+    "Trap",
+    "TraceEntry",
+]

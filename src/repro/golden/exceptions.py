@@ -1,0 +1,36 @@
+"""Synchronous trap machinery with architectural priority resolution."""
+
+from __future__ import annotations
+
+from repro.isa.spec import EXC_NAMES, EXCEPTION_PRIORITY
+
+
+class Trap(Exception):
+    """A synchronous exception raised during instruction execution.
+
+    ``cause`` is the mcause code, ``tval`` the value loaded into mtval
+    (faulting address / offending instruction bits, per spec).
+    """
+
+    def __init__(self, cause: int, tval: int = 0) -> None:
+        super().__init__(EXC_NAMES.get(cause, f"cause {cause}"))
+        self.cause = cause
+        self.tval = tval
+
+    def __repr__(self) -> str:
+        return f"Trap(cause={self.cause}, tval={self.tval:#x})"
+
+
+_PRIORITY_INDEX = {cause: i for i, cause in enumerate(EXCEPTION_PRIORITY)}
+
+
+def select_trap(candidates: list[Trap]) -> Trap:
+    """Pick the highest-priority trap among simultaneous candidates.
+
+    This implements the privileged-spec ordering — notably
+    *address-misaligned above access-fault* for loads and stores, the corner
+    the paper's Finding1 shows RocketCore getting wrong.
+    """
+    if not candidates:
+        raise ValueError("select_trap() with no candidates")
+    return min(candidates, key=lambda t: _PRIORITY_INDEX.get(t.cause, 99))

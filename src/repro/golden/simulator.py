@@ -1,0 +1,146 @@
+"""The golden-model ISS: program loading, trap handling, commit tracing.
+
+Mirrors how Spike is used in the paper's fuzzing loop: load a test program,
+run it to completion, emit a commit log.  A small machine-code trap handler
+(the same image the SoC harness installs) skips over faulting instructions so
+that a single bad instruction does not end the test — the behaviour hardware
+fuzzers rely on to keep exploring past exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.golden.exceptions import Trap
+from repro.golden.executor import execute
+from repro.golden.memory import SparseMemory
+from repro.golden.state import ArchState
+from repro.golden.trace import CommitTrace, TraceEntry
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.spec import (
+    CSR_MEPC,
+    CSR_MSCRATCH,
+    DRAM_BASE,
+    EXC_ILLEGAL_INSTRUCTION,
+    PRV_M,
+    TRAP_VECTOR,
+    WORD_MASK,
+)
+
+
+def trap_handler_image() -> list[int]:
+    """The trap-handler stub installed at ``TRAP_VECTOR``.
+
+    Advances ``mepc`` past the faulting instruction and returns, preserving
+    all registers via ``mscratch``:
+
+    .. code-block:: asm
+
+        csrrw x31, mscratch, x31   # save x31
+        csrrs x31, mepc, x0        # x31 = mepc
+        addi  x31, x31, 4
+        csrrw x0,  mepc, x31       # mepc += 4
+        csrrw x31, mscratch, x31   # restore x31
+        mret
+    """
+    return [
+        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
+        encode("csrrs", rd=31, csr=CSR_MEPC, rs1=0),
+        encode("addi", rd=31, rs1=31, imm=4),
+        encode("csrrw", rd=0, csr=CSR_MEPC, rs1=31),
+        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
+        encode("mret"),
+    ]
+
+
+@dataclass
+class SimConfig:
+    """Execution limits and trace policy for one simulation run."""
+
+    max_steps: int = 4096
+    #: Include instructions executed inside the trap handler in the trace.
+    trace_handler: bool = False
+    #: Abort if this many traps occur (runaway trap loops — e.g. a wild jump
+    #: into unmapped space faults on every subsequent fetch).
+    max_traps: int = 64
+
+
+class GoldenSimulator:
+    """Single-hart RV64IMA_Zicsr ISS with commit tracing.
+
+    >>> sim = GoldenSimulator()
+    >>> trace = sim.run([0x00500513])   # addi a0, zero, 5
+    >>> trace[0].rd_value
+    5
+    """
+
+    def __init__(self, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+
+    def run(self, program: list[int], base: int = DRAM_BASE) -> CommitTrace:
+        """Execute ``program`` (a list of 32-bit words) and return its trace."""
+        memory = SparseMemory()
+        memory.load_program(program, base)
+        memory.load_program(trap_handler_image(), TRAP_VECTOR)
+        state = ArchState(pc=base)
+        return self._run_loop(state, memory)
+
+    def _run_loop(self, state: ArchState, memory: SparseMemory) -> CommitTrace:
+        trace = CommitTrace()
+        handler_lo = TRAP_VECTOR
+        handler_hi = TRAP_VECTOR + 4 * len(trap_handler_image())
+        traps_taken = 0
+
+        for _ in range(self.config.max_steps):
+            pc = state.pc
+            in_handler = handler_lo <= pc < handler_hi
+
+            word = 0
+            try:
+                word = memory.fetch(pc)
+                instr = decode(word)
+                if instr is None:
+                    raise Trap(EXC_ILLEGAL_INSTRUCTION, tval=word)
+                result = execute(state, memory, instr, pc)
+            except Trap as trap:
+                traps_taken += 1
+                entry = TraceEntry(
+                    pc=pc,
+                    instr=word,
+                    priv=state.priv,
+                    trap_cause=trap.cause,
+                    trap_tval=trap.tval,
+                )
+                trace.append(entry)
+                state.reservation = None
+                handler_pc = state.csr.enter_trap(trap.cause, pc, trap.tval, state.priv)
+                state.priv = PRV_M
+                state.pc = handler_pc
+                state.csr.tick()
+                if traps_taken >= self.config.max_traps:
+                    trace.stop_reason = "max_traps"
+                    break
+                continue
+
+            if not in_handler or self.config.trace_handler:
+                rd = result.rd if result.rd not in (None, 0) else None
+                trace.append(
+                    TraceEntry(
+                        pc=pc,
+                        instr=word,
+                        priv=state.priv,
+                        rd=rd,
+                        rd_value=result.rd_value if rd is not None else 0,
+                        mem=result.mem,
+                        csr_write=result.csr_write,
+                    )
+                )
+            state.pc = result.next_pc & WORD_MASK
+            state.csr.tick()
+            if result.halt:
+                trace.stop_reason = "wfi"
+                break
+        else:
+            trace.stop_reason = "max_steps"
+        return trace

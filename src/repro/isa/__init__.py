@@ -1,0 +1,35 @@
+"""RISC-V RV64IMA_Zicsr instruction-set layer.
+
+This package is the single source of truth for instruction encodings used by
+every other subsystem: the golden-model ISS (:mod:`repro.golden`), the SoC
+models (:mod:`repro.soc`), the dataset generator (:mod:`repro.dataset`) and —
+crucially for the paper — the disassembler that acts as the deterministic
+reward agent in ChatFuzz's step-2 PPO training (:mod:`repro.ml.rewards`).
+
+Public API
+----------
+- :data:`~repro.isa.instructions.INSTRUCTIONS` — the instruction database.
+- :func:`~repro.isa.encoder.encode` — assemble one instruction to a word.
+- :func:`~repro.isa.decoder.decode` — decode a word (or ``None`` if illegal).
+- :class:`~repro.isa.disassembler.Disassembler` — textual disassembly and
+  legality scoring of raw instruction streams.
+- :class:`~repro.isa.assembler.Assembler` — two-pass text assembler with
+  label support, used by the examples and tests.
+"""
+
+from repro.isa.decoder import DecodedInstr, decode
+from repro.isa.disassembler import Disassembler
+from repro.isa.encoder import encode
+from repro.isa.assembler import Assembler, AssemblerError
+from repro.isa.instructions import INSTRUCTIONS, InstrSpec
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "DecodedInstr",
+    "Disassembler",
+    "INSTRUCTIONS",
+    "InstrSpec",
+    "decode",
+    "encode",
+]

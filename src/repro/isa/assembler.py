@@ -1,0 +1,177 @@
+"""A small two-pass assembler for RV64IMA_Zicsr text programs.
+
+Supports labels, the memory-operand syntax ``imm(reg)``, ABI register names,
+CSR names, ``#`` comments, a handful of common pseudo-instructions and the
+``.word`` data directive.  It exists for the examples and tests — fuzzing
+inputs are raw word streams and never go through here.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.encoder import EncodingError, encode
+from repro.isa.instructions import INSTRUCTIONS
+from repro.isa.spec import CSR_NAMES, REG_NUMBERS
+
+
+class AssemblerError(ValueError):
+    """Raised with a line number for any parse or encoding failure."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):(.*)$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+#: Pseudo-instructions expanded during parsing: name -> expansion builder.
+#: Each builder receives the operand strings and returns a list of
+#: (mnemonic, operand-strings) tuples.
+_PSEUDOS = {
+    "nop": lambda ops: [("addi", ["x0", "x0", "0"])],
+    "mv": lambda ops: [("addi", [ops[0], ops[1], "0"])],
+    "li": lambda ops: [("addi", [ops[0], "x0", ops[1]])],  # 12-bit only
+    "not": lambda ops: [("xori", [ops[0], ops[1], "-1"])],
+    "neg": lambda ops: [("sub", [ops[0], "x0", ops[1]])],
+    "j": lambda ops: [("jal", ["x0", ops[0]])],
+    "jr": lambda ops: [("jalr", ["x0", "0(" + ops[0] + ")"])],
+    "ret": lambda ops: [("jalr", ["x0", "0(ra)"])],
+    "beqz": lambda ops: [("beq", [ops[0], "x0", ops[1]])],
+    "bnez": lambda ops: [("bne", [ops[0], "x0", ops[1]])],
+    "csrr": lambda ops: [("csrrs", [ops[0], ops[1], "x0"])],
+    "csrw": lambda ops: [("csrrw", ["x0", ops[0], ops[1]])],
+}
+
+
+def _parse_int(text: str, lineno: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad integer {text!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler.
+
+    >>> words = Assembler().assemble('''
+    ...     li a0, 5
+    ... loop:
+    ...     addi a0, a0, -1
+    ...     bnez a0, loop
+    ... ''')
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
+
+    # -- public API ---------------------------------------------------------
+
+    def assemble(self, text: str) -> list[int]:
+        """Assemble a program, returning its instruction words."""
+        statements, labels = self._first_pass(text)
+        return self._second_pass(statements, labels)
+
+    # -- pass 1: tokenize, expand pseudos, collect label addresses ----------
+
+    def _first_pass(self, text: str):
+        statements = []  # (lineno, mnemonic-or-.word, operand-strings)
+        labels: dict[str, int] = {}
+        offset = 0
+        for lineno, raw_line in enumerate(text.splitlines(), start=1):
+            line = raw_line.split("#", 1)[0].strip()
+            while line:
+                matched = _LABEL_RE.match(line)
+                if not matched:
+                    break
+                label, line = matched.group(1), matched.group(2).strip()
+                if label in labels:
+                    raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+                labels[label] = self.base + offset
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = (
+                [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+            )
+            if mnemonic in _PSEUDOS:
+                try:
+                    expansion = _PSEUDOS[mnemonic](operands)
+                except IndexError:
+                    raise AssemblerError(
+                        f"line {lineno}: wrong operand count for {mnemonic!r}"
+                    ) from None
+                for real_mnemonic, real_ops in expansion:
+                    statements.append((lineno, real_mnemonic, real_ops))
+                    offset += 4
+            else:
+                statements.append((lineno, mnemonic, operands))
+                offset += 4
+        return statements, labels
+
+    # -- pass 2: resolve labels and encode -----------------------------------
+
+    def _second_pass(self, statements, labels) -> list[int]:
+        words = []
+        for index, (lineno, mnemonic, operand_texts) in enumerate(statements):
+            pc = self.base + 4 * index
+            if mnemonic == ".word":
+                if len(operand_texts) != 1:
+                    raise AssemblerError(f"line {lineno}: .word takes one value")
+                words.append(_parse_int(operand_texts[0], lineno) & 0xFFFFFFFF)
+                continue
+            spec = INSTRUCTIONS.get(mnemonic)
+            if spec is None:
+                raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+            kwargs = self._bind_operands(spec, operand_texts, labels, pc, lineno)
+            try:
+                words.append(encode(mnemonic, **kwargs))
+            except EncodingError as exc:
+                raise AssemblerError(f"line {lineno}: {exc}") from exc
+        return words
+
+    def _bind_operands(self, spec, operand_texts, labels, pc, lineno):
+        expected = spec.operands
+        kwargs: dict[str, int] = {}
+        texts = list(operand_texts)
+
+        # Atomics write the address operand as "(reg)" with no offset.
+        if texts and (bare := re.match(r"^\((\w+)\)$", texts[-1])):
+            texts[-1] = bare.group(1)
+
+        # Loads/stores/jalr accept "imm(reg)" combining two formal operands.
+        if texts and (mem := _MEM_RE.match(texts[-1])):
+            if "imm" in expected and "rs1" in expected:
+                texts[-1] = mem.group(1)
+                texts.append(mem.group(2))
+                ordered = [op for op in expected if op not in ("imm", "rs1")]
+                ordered += ["imm", "rs1"]
+                expected = tuple(ordered)
+
+        if len(texts) != len(expected):
+            raise AssemblerError(
+                f"line {lineno}: {spec.mnemonic} expects {len(spec.operands)} "
+                f"operand(s), got {len(operand_texts)}"
+            )
+        for name, text in zip(expected, texts):
+            if name in ("rd", "rs1", "rs2"):
+                reg = REG_NUMBERS.get(text.lower())
+                if reg is None:
+                    raise AssemblerError(f"line {lineno}: bad register {text!r}")
+                kwargs[name] = reg
+            elif name == "csr":
+                if text.lower() in CSR_NAMES:
+                    kwargs[name] = CSR_NAMES[text.lower()]
+                else:
+                    kwargs[name] = _parse_int(text, lineno)
+            elif name == "imm":
+                if text in labels:
+                    target = labels[text]
+                    kwargs[name] = (
+                        target - pc if spec.is_branch or spec.is_jump else target
+                    )
+                else:
+                    kwargs[name] = _parse_int(text, lineno)
+            elif name in ("zimm", "shamt"):
+                kwargs[name] = _parse_int(text, lineno)
+            else:  # pragma: no cover - formats are closed
+                raise AssemblerError(f"line {lineno}: unhandled operand {name}")
+        return kwargs

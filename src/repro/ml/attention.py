@@ -1,0 +1,59 @@
+"""Causal multi-head self-attention (GPT-2 style, pre-LN blocks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import LayerNorm, Linear, MLP, Parameterized
+from repro.ml.tensor import Tensor
+
+_NEG_INF = np.float32(-1e9)
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive attention mask: 0 on/below the diagonal, -1e9 above."""
+    mask = np.triu(np.full((length, length), _NEG_INF, dtype=np.float32), k=1)
+    return mask
+
+
+class CausalSelfAttention(Parameterized):
+    """Multi-head scaled-dot-product attention with a causal mask."""
+
+    def __init__(self, dim: int, n_heads: int, rng: np.random.Generator) -> None:
+        if dim % n_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        batch, length, dim = x.shape
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(batch, length, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.swap_last()) * scale  # (B, H, T, T)
+        scores = scores + Tensor(causal_mask(length))
+        attn = scores.log_softmax().exp()
+        out = attn.matmul(v)  # (B, H, T, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, length, dim)
+        return self.proj(out)
+
+
+class TransformerBlock(Parameterized):
+    """Pre-LN transformer block: x + MHA(LN(x)); x + MLP(LN(x))."""
+
+    def __init__(self, dim: int, n_heads: int, mlp_ratio: int,
+                 rng: np.random.Generator) -> None:
+        self.ln1 = LayerNorm(dim)
+        self.attn = CausalSelfAttention(dim, n_heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = MLP(dim, mlp_ratio * dim, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.mlp(self.ln2(x))
+        return x

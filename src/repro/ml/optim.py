@@ -1,0 +1,64 @@
+"""Optimizers: Adam with optional gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tensor import Tensor
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) with bias correction.
+
+    Parameters are the live :class:`Tensor` objects; :meth:`step` consumes
+    and clears their ``grad`` buffers.
+    """
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        grad_clip: float | None = 1.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        return float(np.sqrt(total))
+
+    def step(self) -> float:
+        """Apply one update; returns the pre-clip global gradient norm."""
+        norm = self._global_norm()
+        scale = 1.0
+        if self.grad_clip is not None and norm > self.grad_clip and norm > 0:
+            scale = self.grad_clip / norm
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad * scale
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self.zero_grad()
+        return norm

@@ -1,0 +1,286 @@
+"""Proximal Policy Optimization for language models (paper §II-B1, §IV-C2/3).
+
+TRL-style PPO: rollouts are sampled from the current policy; rewards are the
+scalar sequence reward (disassembler or coverage agent) placed on the final
+response token, plus a per-token KL penalty against the frozen step-1
+reference model (which keeps the policy anchored to the learned machine
+language).  Advantages come from GAE(λ) over token positions using the value
+head; the update is the clipped surrogate objective with a clipped value
+loss and an entropy bonus.
+
+The trainer reports the telemetry the paper monitors during training: "the
+PPO algorithm's loss, the Kullback-Leibler divergence between optimization
+policies, and the mean rewards assigned at each step" (§IV-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.optim import Adam
+from repro.ml.sampling import Sampler, SamplerConfig
+from repro.ml.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class PPOConfig:
+    """PPO hyper-parameters (TRL-flavoured defaults, scaled down)."""
+
+    clip_ratio: float = 0.2
+    value_clip: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    kl_coef: float = 0.1
+    gamma: float = 1.0
+    lam: float = 0.95
+    lr: float = 1e-4
+    inner_epochs: int = 2
+    minibatch_size: int = 8
+    whiten_advantages: bool = True
+    grad_clip: float = 1.0
+    temperature: float = 1.0
+    top_k: int | None = 50
+    top_p: float | None = None
+
+
+@dataclass
+class RolloutBatch:
+    """One generation batch with everything PPO needs to learn from it."""
+
+    tokens: np.ndarray          # (B, P+R) prompt + response token ids
+    prompt_len: int             # P
+    old_logprobs: np.ndarray    # (B, R) log π_old(response tokens)
+    ref_logprobs: np.ndarray    # (B, R) log π_ref(response tokens)
+    values: np.ndarray          # (B, R) V_old at response positions
+    seq_rewards: np.ndarray     # (B,) scalar environment rewards
+
+    @property
+    def response_len(self) -> int:
+        return self.tokens.shape[1] - self.prompt_len
+
+
+@dataclass
+class PPOStats:
+    """Telemetry of one PPO step (the paper's monitored quantities)."""
+
+    mean_reward: float
+    mean_kl: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    total_loss: float
+    clip_fraction: float
+
+
+@dataclass
+class PPOHistory:
+    """Across-steps telemetry."""
+
+    steps: list[PPOStats] = field(default_factory=list)
+
+    def append(self, stats: PPOStats) -> None:
+        self.steps.append(stats)
+
+    @property
+    def mean_rewards(self) -> list[float]:
+        return [s.mean_reward for s in self.steps]
+
+    @property
+    def kls(self) -> list[float]:
+        return [s.mean_kl for s in self.steps]
+
+    @property
+    def losses(self) -> list[float]:
+        return [s.total_loss for s in self.steps]
+
+
+class PPOTrainer:
+    """PPO over a :class:`~repro.ml.transformer.GPT2LMModel` policy.
+
+    Parameters
+    ----------
+    model:
+        The trainable policy (with value head).
+    ref_model:
+        Frozen reference for the KL penalty — in the pipeline, a clone of the
+        model as it stood when the PPO stage began.
+    reward_fn:
+        ``words -> float`` deterministic reward agent; applied to the decoded
+        *response* (not the prompt).
+    tokenizer:
+        Used to decode responses into instruction words for the reward.
+    """
+
+    def __init__(self, model, ref_model, reward_fn, tokenizer,
+                 config: PPOConfig | None = None, seed: int = 0) -> None:
+        self.model = model
+        self.ref_model = ref_model
+        self.reward_fn = reward_fn
+        self.tokenizer = tokenizer
+        self.config = config or PPOConfig()
+        self.rng = np.random.default_rng(seed)
+        self.sampler = Sampler(
+            model,
+            SamplerConfig(temperature=self.config.temperature,
+                          top_k=self.config.top_k, top_p=self.config.top_p),
+            seed=seed,
+        )
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr,
+                              grad_clip=self.config.grad_clip)
+        self.history = PPOHistory()
+
+    # -- rollout -----------------------------------------------------------------
+
+    def _response_logprobs_values(self, model, tokens: np.ndarray,
+                                  prompt_len: int):
+        """Log-probs and values for the response positions (no grad)."""
+        with no_grad():
+            logits, values = model.logits_and_values(tokens[:, :-1])
+            log_probs = logits.log_softmax()
+        picked = np.take_along_axis(
+            log_probs.data, tokens[:, 1:, None], axis=-1
+        ).squeeze(-1)
+        # Response tokens are positions prompt_len .. end; their predictions
+        # come from input positions prompt_len-1 .. end-1, i.e. the last R
+        # entries of the shifted arrays.
+        response = tokens.shape[1] - prompt_len
+        return picked[:, -response:], values.data[:, -response:]
+
+    def rollout(self, prompts: np.ndarray, n_new_tokens: int) -> RolloutBatch:
+        """Generate responses and package them with old/ref statistics."""
+        prompts = np.asarray(prompts, dtype=np.int64)
+        tokens = self.sampler.generate(prompts, n_new_tokens)
+        old_logprobs, values = self._response_logprobs_values(
+            self.model, tokens, prompts.shape[1]
+        )
+        ref_logprobs, _ = self._response_logprobs_values(
+            self.ref_model, tokens, prompts.shape[1]
+        )
+        seq_rewards = np.zeros(tokens.shape[0], dtype=np.float32)
+        for i in range(tokens.shape[0]):
+            response_tokens = tokens[i, prompts.shape[1] :]
+            words = self.tokenizer.decode_tokens(response_tokens.tolist())
+            seq_rewards[i] = self.reward_fn(words)
+        return RolloutBatch(
+            tokens=tokens,
+            prompt_len=prompts.shape[1],
+            old_logprobs=old_logprobs.astype(np.float32),
+            ref_logprobs=ref_logprobs.astype(np.float32),
+            values=values.astype(np.float32),
+            seq_rewards=seq_rewards,
+        )
+
+    # -- advantage estimation --------------------------------------------------------
+
+    def _token_rewards(self, batch: RolloutBatch) -> np.ndarray:
+        """Per-token rewards: -kl_coef * KL-to-reference, + scalar at the end."""
+        kl = batch.old_logprobs - batch.ref_logprobs
+        rewards = -self.config.kl_coef * kl
+        rewards[:, -1] += batch.seq_rewards
+        return rewards.astype(np.float32)
+
+    def _gae(self, rewards: np.ndarray, values: np.ndarray):
+        """Generalised advantage estimation over token positions."""
+        gamma, lam = self.config.gamma, self.config.lam
+        batch, length = rewards.shape
+        advantages = np.zeros_like(rewards)
+        last = np.zeros(batch, dtype=np.float32)
+        for t in reversed(range(length)):
+            next_value = values[:, t + 1] if t + 1 < length else 0.0
+            delta = rewards[:, t] + gamma * next_value - values[:, t]
+            last = delta + gamma * lam * last
+            advantages[:, t] = last
+        returns = advantages + values
+        return advantages, returns
+
+    # -- optimisation ------------------------------------------------------------------
+
+    def step(self, prompts: np.ndarray, n_new_tokens: int) -> PPOStats:
+        """One full PPO iteration: rollout + inner-epoch updates."""
+        batch = self.rollout(prompts, n_new_tokens)
+        token_rewards = self._token_rewards(batch)
+        advantages, returns = self._gae(token_rewards, batch.values)
+        if self.config.whiten_advantages and advantages.size > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+
+        stats_accumulator: list[tuple[float, float, float, float, float]] = []
+        n_rows = batch.tokens.shape[0]
+        for _ in range(self.config.inner_epochs):
+            order = self.rng.permutation(n_rows)
+            for start in range(0, n_rows, self.config.minibatch_size):
+                rows = order[start : start + self.config.minibatch_size]
+                stats_accumulator.append(
+                    self._update_minibatch(batch, rows, advantages, returns)
+                )
+
+        mean = np.mean(np.asarray(stats_accumulator), axis=0)
+        stats = PPOStats(
+            mean_reward=float(batch.seq_rewards.mean()),
+            mean_kl=float((batch.old_logprobs - batch.ref_logprobs).mean()),
+            policy_loss=float(mean[0]),
+            value_loss=float(mean[1]),
+            entropy=float(mean[2]),
+            total_loss=float(mean[3]),
+            clip_fraction=float(mean[4]),
+        )
+        self.history.append(stats)
+        return stats
+
+    def _update_minibatch(self, batch: RolloutBatch, rows: np.ndarray,
+                          advantages: np.ndarray, returns: np.ndarray):
+        config = self.config
+        tokens = batch.tokens[rows]
+        response = batch.response_len
+
+        logits, values = self.model.logits_and_values(tokens[:, :-1])
+        log_probs_all = logits.log_softmax()
+        picked = log_probs_all.gather_last(tokens[:, 1:])
+        new_logprobs = picked[:, -response:]
+        new_values = values[:, -response:]
+
+        old_logprobs = Tensor(batch.old_logprobs[rows])
+        old_values = Tensor(batch.values[rows])
+        advantage = Tensor(advantages[rows])
+        target = Tensor(returns[rows])
+
+        # Clipped surrogate policy loss.
+        ratio = (new_logprobs - old_logprobs).exp()
+        unclipped = ratio * advantage
+        clipped = ratio.clip(1.0 - config.clip_ratio, 1.0 + config.clip_ratio) * advantage
+        policy_loss = -(unclipped.minimum(clipped).mean())
+
+        # Clipped value loss (PPO2 style).
+        values_clipped = old_values + (new_values - old_values).clip(
+            -config.value_clip, config.value_clip
+        )
+        value_loss_raw = (new_values - target) ** 2.0
+        value_loss_clip = (values_clipped - target) ** 2.0
+        # Elementwise max via min of negatives.
+        value_loss = 0.5 * ((-((-value_loss_raw).minimum(-value_loss_clip))).mean())
+
+        # Entropy of the response distribution (exploration bonus).
+        response_logits = log_probs_all[:, -response:, :]
+        entropy = -(response_logits.exp() * response_logits).sum(axis=-1).mean()
+
+        total = (
+            policy_loss
+            + config.value_coef * value_loss
+            - config.entropy_coef * entropy
+        )
+        total.backward()
+        self.optimizer.step()
+
+        clip_fraction = float(
+            (np.abs(ratio.data - 1.0) > config.clip_ratio).mean()
+        )
+        return (
+            policy_loss.item(),
+            value_loss.item(),
+            entropy.item(),
+            total.item(),
+            clip_fraction,
+        )

@@ -1,0 +1,103 @@
+"""Autoregressive generation: temperature, top-k and nucleus sampling.
+
+Generation runs in inference mode (:func:`repro.ml.tensor.no_grad`); PPO
+recomputes log-probs with gradients afterwards on the concatenated
+prompt+response batch, as TRL does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Decoding hyper-parameters."""
+
+    temperature: float = 1.0
+    top_k: int | None = None
+    top_p: float | None = None
+    #: Token ids whose probability is forced to zero (e.g. PAD/BOS/EOS when
+    #: generating fixed-length fuzzing bodies).
+    forbidden_tokens: tuple[int, ...] = ()
+
+
+class Sampler:
+    """Batch sampler over a :class:`~repro.ml.transformer.GPT2LMModel`."""
+
+    def __init__(self, model, config: SamplerConfig | None = None,
+                 seed: int = 0) -> None:
+        self.model = model
+        self.config = config or SamplerConfig()
+        self.rng = np.random.default_rng(seed)
+
+    def _filter_distribution(self, probs: np.ndarray) -> np.ndarray:
+        """Apply top-k / top-p filtering row-wise and renormalise."""
+        config = self.config
+        filtered = probs.copy()
+        if config.forbidden_tokens:
+            filtered[:, list(config.forbidden_tokens)] = 0.0
+        if config.top_k is not None and config.top_k < probs.shape[-1]:
+            kth = np.partition(filtered, -config.top_k, axis=-1)[
+                :, -config.top_k : -config.top_k + 1
+            ]
+            filtered[filtered < kth] = 0.0
+        if config.top_p is not None and config.top_p < 1.0:
+            order = np.argsort(-filtered, axis=-1)
+            sorted_probs = np.take_along_axis(filtered, order, axis=-1)
+            cumulative = np.cumsum(sorted_probs, axis=-1)
+            # Keep the smallest prefix with mass >= top_p (always >= 1 token).
+            cut = cumulative - sorted_probs >= config.top_p
+            sorted_probs[cut] = 0.0
+            filtered = np.zeros_like(filtered)
+            np.put_along_axis(filtered, order, sorted_probs, axis=-1)
+        totals = filtered.sum(axis=-1, keepdims=True)
+        # Rows zeroed out entirely (numerical corner) fall back to the input
+        # distribution with forbidden tokens still masked; if that is also
+        # empty, to uniform over the allowed vocabulary.
+        dead = totals.squeeze(-1) <= 0
+        if dead.any():
+            fallback = probs[dead].copy()
+            if config.forbidden_tokens:
+                fallback[:, list(config.forbidden_tokens)] = 0.0
+            empty = fallback.sum(axis=-1) <= 0
+            if empty.any():
+                fallback[empty] = 1.0
+                if config.forbidden_tokens:
+                    fallback[np.ix_(np.flatnonzero(empty),
+                                    list(config.forbidden_tokens))] = 0.0
+            filtered[dead] = fallback
+            totals = filtered.sum(axis=-1, keepdims=True)
+        return filtered / totals
+
+    def generate(
+        self,
+        prompts: np.ndarray,
+        n_new_tokens: int,
+    ) -> np.ndarray:
+        """Extend each prompt row by ``n_new_tokens`` sampled tokens.
+
+        ``prompts`` is (batch, prompt_len); returns (batch, prompt_len +
+        n_new_tokens).  All rows share a length, so no padding/attention
+        masking is needed (the PPO rollout groups prompts by length).
+        """
+        tokens = np.asarray(prompts, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"prompts must be 2-D, got {tokens.shape}")
+        temperature = max(self.config.temperature, 1e-4)
+        for _ in range(n_new_tokens):
+            probs = self.model.next_token_distribution(tokens)
+            if temperature != 1.0:
+                logits = np.log(probs + 1e-12) / temperature
+                logits -= logits.max(axis=-1, keepdims=True)
+                probs = np.exp(logits)
+                probs /= probs.sum(axis=-1, keepdims=True)
+            probs = self._filter_distribution(probs)
+            cumulative = np.cumsum(probs, axis=-1)
+            draws = self.rng.random((tokens.shape[0], 1))
+            choice = (cumulative < draws).sum(axis=-1)
+            choice = np.minimum(choice, probs.shape[-1] - 1)
+            tokens = np.concatenate([tokens, choice[:, None]], axis=1)
+        return tokens

@@ -1,0 +1,139 @@
+"""The GPT-2-family causal language model, with an optional value head.
+
+This is the paper's "GPT2 Model" (Figure 1b): trained from scratch on machine
+language in step 1, then PPO-tuned in steps 2–3.  The value head (a scalar
+projection of the final hidden state per position) exists for PPO's critic;
+plain LM training ignores it.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.attention import TransformerBlock
+from repro.ml.layers import Embedding, LayerNorm, Linear, Parameterized
+from repro.ml.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class GPT2Config:
+    """Model hyper-parameters.
+
+    The defaults are a deliberately small config that trains in minutes on a
+    CPU with the numpy engine; benches/tests shrink or grow it as needed.
+    """
+
+    vocab_size: int = 512
+    max_seq: int = 96
+    dim: int = 64
+    n_layers: int = 2
+    n_heads: int = 2
+    mlp_ratio: int = 4
+    tie_embeddings: bool = True
+
+
+class GPT2LMModel(Parameterized):
+    """Causal LM: token + position embeddings, pre-LN blocks, tied LM head."""
+
+    def __init__(self, config: GPT2Config, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.tok_emb = Embedding(config.vocab_size, config.dim, rng)
+        self.pos_emb = Embedding(config.max_seq, config.dim, rng)
+        self.blocks = [
+            TransformerBlock(config.dim, config.n_heads, config.mlp_ratio, rng)
+            for _ in range(config.n_layers)
+        ]
+        self.ln_final = LayerNorm(config.dim)
+        if not config.tie_embeddings:
+            self.lm_head = Linear(config.dim, config.vocab_size, rng)
+        else:
+            self.lm_head = None
+        self.value_head = Linear(config.dim, 1, rng)
+
+    # -- forward -----------------------------------------------------------------
+
+    def hidden_states(self, tokens: np.ndarray) -> Tensor:
+        """Final hidden states for a (batch, seq) token array."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"expected (batch, seq) tokens, got {tokens.shape}")
+        length = tokens.shape[1]
+        if length > self.config.max_seq:
+            raise ValueError(f"sequence {length} exceeds max_seq {self.config.max_seq}")
+        x = self.tok_emb(tokens) + self.pos_emb(np.arange(length))
+        for block in self.blocks:
+            x = block(x)
+        return self.ln_final(x)
+
+    def logits(self, tokens: np.ndarray) -> Tensor:
+        """LM logits, shape (batch, seq, vocab)."""
+        hidden = self.hidden_states(tokens)
+        if self.lm_head is not None:
+            return self.lm_head(hidden)
+        return hidden.matmul(self.tok_emb.weight.transpose())
+
+    def logits_and_values(self, tokens: np.ndarray) -> tuple[Tensor, Tensor]:
+        """(logits, per-position value estimates) — PPO's actor-critic pass."""
+        hidden = self.hidden_states(tokens)
+        if self.lm_head is not None:
+            logits = self.lm_head(hidden)
+        else:
+            logits = hidden.matmul(self.tok_emb.weight.transpose())
+        values = self.value_head(hidden).reshape(*tokens.shape)
+        return logits, values
+
+    # -- losses / inference helpers -------------------------------------------------
+
+    def lm_loss(self, tokens: np.ndarray) -> Tensor:
+        """Next-token cross-entropy over the sequence (teacher forcing)."""
+        inputs = tokens[:, :-1]
+        targets = tokens[:, 1:]
+        log_probs = self.logits(inputs).log_softmax()
+        picked = log_probs.gather_last(targets)
+        return -picked.mean()
+
+    def next_token_distribution(self, tokens: np.ndarray) -> np.ndarray:
+        """Inference-mode softmax over the next token, shape (batch, vocab)."""
+        with no_grad():
+            logits = self.logits(tokens)
+        row = logits.data[:, -1, :]
+        row = row - row.max(axis=-1, keepdims=True)
+        exp = np.exp(row)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    # -- cloning (reference models for PPO) --------------------------------------------
+
+    def clone(self) -> "GPT2LMModel":
+        """Deep copy with identical weights (used as the frozen PPO reference)."""
+        twin = GPT2LMModel(self.config)
+        twin.load_state_arrays(self.state_arrays())
+        return twin
+
+    def save(self, path) -> None:
+        arrays = {f"p{i:05d}": a for i, a in enumerate(self.state_arrays())}
+        arrays["_config"] = np.array([
+            self.config.vocab_size, self.config.max_seq,
+            self.config.dim, self.config.n_layers,
+            self.config.n_heads, self.config.mlp_ratio,
+            int(self.config.tie_embeddings),
+        ])
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "GPT2LMModel":
+        with np.load(path) as payload:
+            raw = payload["_config"]
+            config = GPT2Config(
+                vocab_size=int(raw[0]), max_seq=int(raw[1]), dim=int(raw[2]),
+                n_layers=int(raw[3]), n_heads=int(raw[4]), mlp_ratio=int(raw[5]),
+                tie_embeddings=bool(raw[6]),
+            )
+            model = cls(config)
+            keys = sorted(k for k in payload.files if k != "_config")
+            arrays = [payload[k] for k in keys]
+        model.load_state_arrays(arrays)
+        return model

@@ -1,0 +1,90 @@
+"""Condition-coverage instrumentation.
+
+VCS condition coverage counts, for every boolean condition in the design,
+whether the condition has been observed *true* and observed *false* — two
+cover points ("arms") per condition.  :class:`ConditionCoverage` reproduces
+that model with a declare-before-use discipline: the universe of cover points
+is a static property of the elaborated design, never of the stimulus, so
+percentages are comparable across runs (and fuzzers).
+
+Conditions are declared once (at module construction = "elaboration") and
+recorded by integer handle on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConditionInfo:
+    """Metadata for one declared condition."""
+
+    index: int
+    name: str
+
+
+class ConditionCoverage:
+    """The coverage database for one elaborated design.
+
+    Arms are indexed ``2*idx`` (false arm) and ``2*idx + 1`` (true arm).
+    ``run_hits`` accumulates the arms observed since the last
+    :meth:`begin_run`, which is what the per-test report exposes.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, ConditionInfo] = {}
+        self._names: list[str] = []
+        self._frozen = False
+        self.run_hits: set[int] = set()
+
+    # -- elaboration ---------------------------------------------------------
+
+    def declare(self, name: str) -> int:
+        """Register a condition; returns the handle used by :meth:`record`."""
+        if self._frozen:
+            raise RuntimeError(
+                f"cannot declare {name!r}: design already elaborated (frozen)"
+            )
+        if name in self._by_name:
+            raise ValueError(f"condition {name!r} declared twice")
+        info = ConditionInfo(index=len(self._names), name=name)
+        self._by_name[name] = info
+        self._names.append(name)
+        return info.index
+
+    def freeze(self) -> None:
+        """End elaboration: no further conditions may be declared."""
+        self._frozen = True
+
+    # -- recording (hot path) --------------------------------------------------
+
+    def record(self, handle: int, value) -> bool:
+        """Record one observation of a condition; returns ``bool(value)`` so
+        the call can wrap the condition in-line: ``if cov.record(h, a == b):``"""
+        value = bool(value)
+        self.run_hits.add(2 * handle + (1 if value else 0))
+        return value
+
+    # -- per-test bookkeeping ----------------------------------------------------
+
+    def begin_run(self) -> None:
+        """Clear the per-test hit set (total counts live in the calculator)."""
+        self.run_hits = set()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def num_conditions(self) -> int:
+        return len(self._names)
+
+    @property
+    def total_arms(self) -> int:
+        return 2 * len(self._names)
+
+    def arm_name(self, arm: int) -> str:
+        """Human-readable name of one arm, e.g. ``core.dcache.hit:T``."""
+        return f"{self._names[arm // 2]}:{'T' if arm % 2 else 'F'}"
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)

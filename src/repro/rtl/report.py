@@ -1,0 +1,71 @@
+"""Per-test coverage reports — the RTL simulator's output to the fuzzer.
+
+A :class:`CoverageReport` is what "parsing the VCS coverage report" yields in
+the paper's Coverage Calculator (§IV-B): the set of condition arms this test
+hit, plus the design's static totals.  Reports are cheap, immutable value
+objects; cumulative accounting lives in
+:class:`repro.coverage.calculator.CoverageCalculator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.coverage import ConditionCoverage
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Coverage outcome of simulating one test input."""
+
+    #: Arm indices hit during this test (see ConditionCoverage indexing).
+    hits: frozenset[int]
+    #: Static number of condition arms in the design (2 per condition).
+    total_arms: int
+    #: Simulated clock cycles consumed by the test.
+    cycles: int = 0
+
+    @classmethod
+    def from_coverage(cls, cov: ConditionCoverage, cycles: int = 0) -> "CoverageReport":
+        """Snapshot the per-run hit set of a coverage database."""
+        return cls(hits=frozenset(cov.run_hits), total_arms=cov.total_arms,
+                   cycles=cycles)
+
+    @property
+    def standalone_count(self) -> int:
+        """Number of cover points attained by this input alone (paper §IV-B)."""
+        return len(self.hits)
+
+    @property
+    def standalone_fraction(self) -> float:
+        if self.total_arms == 0:
+            return 0.0
+        return len(self.hits) / self.total_arms
+
+
+@dataclass
+class CumulativeCoverage:
+    """Mutable union of report hits — the "total coverage" accumulator."""
+
+    total_arms: int
+    hits: set[int] = field(default_factory=set)
+
+    def merge(self, report: CoverageReport) -> int:
+        """Fold one report in; returns the number of newly-hit arms."""
+        new = report.hits - self.hits
+        self.hits |= new
+        return len(new)
+
+    @property
+    def count(self) -> int:
+        return len(self.hits)
+
+    @property
+    def fraction(self) -> float:
+        if self.total_arms == 0:
+            return 0.0
+        return len(self.hits) / self.total_arms
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.fraction

@@ -1,0 +1,44 @@
+"""Two-phase clocked state elements.
+
+:class:`Reg` models a flip-flop/register: combinational logic assigns
+``reg.next`` during the cycle; :meth:`Reg.commit` latches it at the clock
+edge.  The :class:`~repro.rtl.simulator.ClockDomain` commits every register
+it knows about after all modules have evaluated, giving race-free
+cycle semantics without an event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Reg:
+    """A clocked register holding an arbitrary Python value.
+
+    >>> r = Reg(0)
+    >>> r.next = 5
+    >>> r.value
+    0
+    >>> r.commit()
+    >>> r.value
+    5
+    """
+
+    __slots__ = ("value", "next", "reset_value")
+
+    def __init__(self, reset_value: Any = 0) -> None:
+        self.reset_value = reset_value
+        self.value = reset_value
+        self.next = reset_value
+
+    def commit(self) -> None:
+        """Latch ``next`` into ``value`` (clock edge)."""
+        self.value = self.next
+
+    def reset(self) -> None:
+        """Return to the reset value (both phases)."""
+        self.value = self.reset_value
+        self.next = self.reset_value
+
+    def __repr__(self) -> str:
+        return f"Reg(value={self.value!r}, next={self.next!r})"

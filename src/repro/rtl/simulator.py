@@ -1,0 +1,36 @@
+"""Clock domain: drives evaluation and register commit across a design."""
+
+from __future__ import annotations
+
+from repro.rtl.module import Module
+
+
+class ClockDomain:
+    """Cycle driver for a module tree.
+
+    Each :meth:`tick` calls the design's ``evaluate()`` (combinational +
+    next-state logic) once and then commits every register, emulating a
+    single-clock synchronous design.  ``cycles`` is the elapsed cycle count
+    since the last :meth:`restart`, which the SoC harness reports as the
+    test's simulated duration.
+    """
+
+    def __init__(self, top: Module) -> None:
+        self.top = top
+        self.cycles = 0
+
+    def restart(self) -> None:
+        """Reset the design and the cycle counter (new test)."""
+        self.top.reset()
+        self.cycles = 0
+
+    def tick(self) -> None:
+        """Advance one clock cycle."""
+        evaluate = getattr(self.top, "evaluate", None)
+        if evaluate is None:
+            raise TypeError(
+                f"top module {type(self.top).__name__} must define evaluate()"
+            )
+        evaluate()
+        self.top.commit()
+        self.cycles += 1

@@ -1,0 +1,191 @@
+"""Set-associative cache models shared by the SoC designs.
+
+Caches are the main source of *sequence-dependent* coverage: hits need
+address reuse, dirty evictions need write streaks over conflicting lines, and
+the I-cache's stale-line behaviour implements the paper's Bug1 (CWE-1202:
+missing FENCE.I cache-coherency management).
+"""
+
+from __future__ import annotations
+
+from repro.rtl.coverage import ConditionCoverage
+from repro.rtl.module import Module
+
+
+class CacheLine:
+    """One line of a set-associative cache."""
+
+    __slots__ = ("valid", "dirty", "tag", "data", "lru")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.tag = 0
+        self.data = b""
+        self.lru = 0
+
+
+class SetAssocCache(Module):
+    """Generic N-way write-through cache with dirty-bit tracking.
+
+    The backing store is always updated on stores (so architectural memory
+    state is exact); dirty bits and eviction kinds are still modelled because
+    they drive latency and coverage conditions, as in the write-back original.
+
+    Parameters
+    ----------
+    path, cov:
+        Module identity and coverage database.
+    ways, sets, line_bytes:
+        Geometry; ``line_bytes`` must be a power of two.
+    hit_latency, miss_penalty:
+        Cycle costs reported to the core's timing model.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        cov: ConditionCoverage,
+        ways: int = 2,
+        sets: int = 8,
+        line_bytes: int = 32,
+        hit_latency: int = 1,
+        miss_penalty: int = 20,
+        writable: bool = True,
+    ) -> None:
+        super().__init__(path, cov)
+        self.ways = ways
+        self.sets = sets
+        self.line_bytes = line_bytes
+        self.hit_latency = hit_latency
+        self.miss_penalty = miss_penalty
+        self.writable = writable
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._index_mask = sets - 1
+        self.lines = [[CacheLine() for _ in range(ways)] for _ in range(sets)]
+        self._lru_clock = 0
+        #: Line-address key (addr // line_bytes) of the last evicted line.
+        self.last_evicted: int | None = None
+        self.conditions(
+            "hit",
+            "hit_way0",
+            "hit_way1",
+            "refill",
+            "evict_valid",
+            "set_conflict",  # refill into a set with all ways valid
+        )
+        if writable:
+            # Dirty-path conditions only exist in caches with a store port
+            # (the I$ is read-only: no such logic, no such cover points).
+            self.conditions("evict_dirty", "mark_dirty")
+
+    # -- geometry helpers ------------------------------------------------------
+
+    def _split(self, addr: int) -> tuple[int, int, int]:
+        line_addr = addr >> self._offset_bits
+        return line_addr & self._index_mask, line_addr >> (
+            self._index_mask.bit_length()
+        ), addr & (self.line_bytes - 1)
+
+    def _line_base(self, index: int, tag: int) -> int:
+        return ((tag << self._index_mask.bit_length()) | index) << self._offset_bits
+
+    # -- lookup / fill -----------------------------------------------------------
+
+    def lookup(self, addr: int) -> CacheLine | None:
+        """Probe for a hit, recording the hit/way conditions."""
+        index, tag, _ = self._split(addr)
+        found = None
+        for way, line in enumerate(self.lines[index]):
+            if line.valid and line.tag == tag:
+                found = line
+                if way < 2:  # per-way conditions exist for the first two ways
+                    self.cond("hit_way0", way == 0)
+                    self.cond("hit_way1", way == 1)
+                break
+        self.cond("hit", found is not None)
+        self.cond("refill", found is None)  # a miss starts the refill FSM
+        if found is not None:
+            self._lru_clock += 1
+            found.lru = self._lru_clock
+        return found
+
+    def refill(self, addr: int, fetch_line) -> CacheLine:
+        """Install the line containing ``addr``; ``fetch_line(base, n)`` reads
+        backing memory.  Records refill/eviction conditions and remembers the
+        evicted line's address key in :attr:`last_evicted`."""
+        index, tag, _ = self._split(addr)
+        ways = self.lines[index]
+        victim = min(ways, key=lambda line: (line.valid, line.lru))
+        self.cond("set_conflict", all(line.valid for line in ways))
+        self.cond("evict_valid", victim.valid)
+        if self.writable:
+            self.cond("evict_dirty", victim.valid and victim.dirty)
+        if victim.valid:
+            self.last_evicted = self._line_base(index, victim.tag) // self.line_bytes
+        else:
+            self.last_evicted = None
+        base = addr & ~(self.line_bytes - 1)
+        victim.valid = True
+        victim.dirty = False
+        victim.tag = tag
+        victim.data = bytes(fetch_line(base, self.line_bytes))
+        self._lru_clock += 1
+        victim.lru = self._lru_clock
+        return victim
+
+    def update_stored_line(self, addr: int, data: bytes) -> None:
+        """Write ``data`` into a cached copy if present (keeps D$ coherent
+        with the write-through backing store)."""
+        if not self.writable:
+            raise RuntimeError(f"{self.path} has no store port")
+        line = self._peek(addr)
+        if line is not None:
+            _, _, offset = self._split(addr)
+            buf = bytearray(line.data)
+            buf[offset : offset + len(data)] = data
+            line.data = bytes(buf)
+            # The condition is the clean->dirty *transition* (re-dirtying an
+            # already-dirty line evaluates it false).
+            self.cond("mark_dirty", not line.dirty)
+            line.dirty = True
+
+    def _peek(self, addr: int) -> CacheLine | None:
+        """Hit check without recording conditions or touching LRU."""
+        index, tag, _ = self._split(addr)
+        for line in self.lines[index]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def contains(self, addr: int) -> bool:
+        return self._peek(addr) is not None
+
+    def read_cached(self, addr: int, size: int) -> bytes | None:
+        """Return cached bytes (possibly stale!) or None when absent."""
+        line = self._peek(addr)
+        if line is None:
+            return None
+        _, _, offset = self._split(addr)
+        return line.data[offset : offset + size]
+
+    def invalidate_all(self) -> None:
+        """FENCE.I / reset: drop every line."""
+        for ways in self.lines:
+            for line in ways:
+                line.valid = False
+                line.dirty = False
+
+    def set_index(self, addr: int) -> int:
+        """The set an address maps to (used by set-thrash tracking)."""
+        return self._split(addr)[0]
+
+    def is_dirty(self, addr: int) -> bool:
+        line = self._peek(addr)
+        return line is not None and line.dirty
+
+    def reset(self) -> None:
+        super().reset()
+        self.invalidate_all()
+        self._lru_clock = 0
+        self.last_evicted = None

@@ -1,0 +1,122 @@
+"""Test harness: turns a fuzzer-generated instruction body into a full
+program image and runs it on a DUT and/or the golden model.
+
+As in real processor-fuzzing setups (TheHuzz, DifuzzRTL), a fixed preamble
+initialises the pointer registers to valid data addresses before the test
+body runs, so that memory instructions have a fighting chance of touching
+mapped memory; a ``wfi`` terminator marks normal test completion.  The same
+image runs on both simulators, so the preamble can never cause a mismatch.
+"""
+
+from __future__ import annotations
+
+from repro.golden.simulator import GoldenSimulator, SimConfig
+from repro.golden.trace import CommitTrace
+from repro.isa.encoder import encode
+from repro.isa.spec import DRAM_BASE
+from repro.rtl.report import CoverageReport
+
+
+def preamble_words() -> list[int]:
+    """Register-initialisation preamble (position: start of the image).
+
+    Uses ``auipc``-relative addressing so it works regardless of the sign
+    of the load address.  After it runs::
+
+        sp = base + 0x80400    s0 = base + 0x80100    gp = base + 0x80000
+        tp = base + 0x80200    a0..a2, t0..t2 = small mixed constants
+    """
+    return [
+        encode("auipc", rd=2, imm=0x80),        # sp = pc + 0x80000
+        encode("addi", rd=2, rs1=2, imm=0x400),
+        encode("auipc", rd=8, imm=0x80),        # s0 = pc+8 + 0x80000
+        encode("addi", rd=8, rs1=8, imm=0xF8),
+        encode("auipc", rd=3, imm=0x80),        # gp = pc+16 + 0x80000
+        encode("addi", rd=3, rs1=3, imm=-16),
+        encode("auipc", rd=4, imm=0x80),        # tp = pc+24 + 0x80000
+        encode("addi", rd=4, rs1=4, imm=0x1E8),
+        encode("addi", rd=10, rs1=0, imm=8),    # a0 = 8
+        encode("addi", rd=11, rs1=0, imm=3),    # a1 = 3
+        encode("addi", rd=12, rs1=0, imm=-1),   # a2 = -1
+        encode("addi", rd=5, rs1=0, imm=0x7F),  # t0 = 127
+        encode("addi", rd=6, rs1=0, imm=1),     # t1 = 1
+        encode("slli", rd=6, rs1=6, shamt=31),  # t1 = 1 << 31
+        encode("addi", rd=7, rs1=0, imm=0),     # t2 = 0
+        encode("addi", rd=9, rs1=2, imm=64),    # s1 = sp + 64
+    ]
+
+
+TERMINATOR = encode("wfi")
+
+
+def build_program(body: list[int]) -> list[int]:
+    """Full program image: preamble + ra setup + fuzzed body + terminator.
+
+    ``ra`` is pointed at the terminating ``wfi`` so that generated code
+    ending in ``ret`` (every corpus-shaped function does) terminates the test
+    cleanly instead of escaping to address 0.
+    """
+    fixed = preamble_words()
+    # ra = pc_of_auipc + offset  ->  address of the wfi terminator.  The
+    # offset depends on how many addi instructions the chain itself needs.
+    n_addi = 1
+    while 4 * (1 + n_addi + len(body)) - 2044 * (n_addi - 1) > 2047:
+        n_addi += 1
+    total = 4 * (1 + n_addi + len(body))
+    ra_setup = [encode("auipc", rd=1, imm=0)]
+    ra_setup += [encode("addi", rd=1, rs1=1, imm=2044)] * (n_addi - 1)
+    ra_setup.append(encode("addi", rd=1, rs1=1, imm=total - 2044 * (n_addi - 1)))
+    return fixed + ra_setup + list(body) + [TERMINATOR]
+
+
+class DutHarness:
+    """Runs test bodies on one DUT core and on the golden model.
+
+    Parameters
+    ----------
+    core:
+        Any object with ``run(program, base) -> (CommitTrace, CoverageReport)``
+        (RocketCore or BoomCore).
+    max_steps:
+        Execution cap forwarded to the golden model (must match the core's
+        own ``params.max_steps`` for trace comparability).
+    """
+
+    def __init__(self, core, max_steps: int = 4096) -> None:
+        self.core = core
+        self.golden = GoldenSimulator(SimConfig(max_steps=max_steps))
+
+    @property
+    def total_arms(self) -> int:
+        """Static size of the DUT's condition-coverage universe."""
+        return self.core.cov.total_arms
+
+    def run_dut(self, body: list[int], base: int = DRAM_BASE) -> tuple[CommitTrace, CoverageReport]:
+        """Simulate the body on the DUT; returns (trace, coverage report)."""
+        return self.core.run(build_program(body), base)
+
+    def run_golden(self, body: list[int], base: int = DRAM_BASE) -> CommitTrace:
+        """Simulate the body on the golden model; returns its trace."""
+        return self.golden.run(build_program(body), base)
+
+    def run_differential(self, body: list[int], base: int = DRAM_BASE):
+        """Run both simulators; returns (dut_trace, golden_trace, report)."""
+        dut_trace, report = self.run_dut(body, base)
+        golden_trace = self.run_golden(body, base)
+        return dut_trace, golden_trace, report
+
+
+def make_rocket_harness(params=None) -> DutHarness:
+    """Harness around a (buggy, by default) RocketCore."""
+    from repro.soc.rocket import RocketCore, RocketParams
+
+    core_params = params or RocketParams()
+    return DutHarness(RocketCore(core_params), max_steps=core_params.max_steps)
+
+
+def make_boom_harness(params=None) -> DutHarness:
+    """Harness around a BoomCore."""
+    from repro.soc.boom import BoomCore, BoomParams
+
+    core_params = params or BoomParams()
+    return DutHarness(BoomCore(core_params), max_steps=core_params.max_steps)

@@ -1,0 +1,20 @@
+"""RocketCore-like in-order RV64IMA_Zicsr pipeline model.
+
+Contains the five documented RocketCore behaviours the paper's fuzzer found
+(all injectable via :class:`~repro.soc.rocket.params.RocketParams` flags):
+
+- **Bug1 / CWE-1202** — stale I-cache lines served after stores to fetched
+  code when ``FENCE.I`` is omitted.
+- **Bug2 / CWE-440** — tracer drops the register write-back record for
+  MUL/DIV-family instructions.
+- **Finding1** — access-fault reported instead of address-misaligned when a
+  data access is simultaneously misaligned and unmapped.
+- **Finding2** — AMOs with ``rd = x0`` show data arriving at x0 in the trace.
+- **Finding3** — spurious x0 write-back trace records for ``jalr x0`` (plain
+  indirect jumps) immediately following a load.
+"""
+
+from repro.soc.rocket.core import RocketCore
+from repro.soc.rocket.params import RocketParams
+
+__all__ = ["RocketCore", "RocketParams"]

@@ -1,0 +1,714 @@
+"""The RocketCore model: an in-order timed interpreter with full condition
+coverage instrumentation.
+
+Instruction *semantics* are delegated to the golden executor
+(:func:`repro.golden.executor.execute`); everything microarchitectural —
+I$/D$ behaviour, branch prediction, hazards, the store buffer, trap entry,
+the commit tracer and the timing model — is modelled here and is the source
+of both the condition coverage points and the injected paper behaviours
+(Bug1 and Finding1 live in this file; Bug2/Finding2/Finding3 in the tracer).
+"""
+
+from __future__ import annotations
+
+from repro.golden.exceptions import Trap
+from repro.golden.executor import execute
+from repro.golden.memory import SparseMemory
+from repro.golden.simulator import trap_handler_image
+from repro.golden.state import ArchState
+from repro.golden.trace import CommitTrace, TraceEntry
+from repro.isa.decoder import decode
+from repro.isa.spec import (
+    CSR_CYCLE,
+    CSR_INSTRET,
+    CSR_MCYCLE,
+    CSR_MEPC,
+    CSR_MSTATUS,
+    CSR_TIME,
+    DRAM_BASE,
+    EXC_ILLEGAL_INSTRUCTION,
+    EXC_INSTR_ACCESS_FAULT,
+    EXC_LOAD_ACCESS_FAULT,
+    EXC_LOAD_MISALIGNED,
+    EXC_STORE_ACCESS_FAULT,
+    EXC_STORE_MISALIGNED,
+    PRV_M,
+    PRV_U,
+    TRAP_VECTOR,
+    WORD_MASK,
+    csr_is_read_only,
+    csr_min_privilege,
+)
+from repro.rtl.coverage import ConditionCoverage
+from repro.rtl.module import Module
+from repro.rtl.report import CoverageReport
+from repro.soc.caches import SetAssocCache
+from repro.soc.predictor import BranchPredictor
+from repro.soc.rocket.params import RocketParams
+from repro.soc.rocket.tracer import Tracer
+from repro.soc.rocket.uncore import DebugUnit, InterruptController
+
+_LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4, "ld": 8}
+_STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+#: mcause codes that have a dedicated comparator condition in the CSR unit.
+_CAUSE_CONDITIONS = (0, 1, 2, 3, 4, 5, 6, 7, 8, 11)
+
+
+class RocketCore(Module):
+    """In-order RV64IMA_Zicsr core with condition coverage (see module doc)."""
+
+    def __init__(self, params: RocketParams | None = None) -> None:
+        cov = ConditionCoverage()
+        super().__init__("rocket", cov)
+        self.params = params or RocketParams()
+        p = self.params
+
+        self.icache = self.child(
+            SetAssocCache(
+                "rocket.icache", cov,
+                ways=p.icache_ways, sets=p.icache_sets, line_bytes=p.line_bytes,
+                miss_penalty=p.icache_miss_penalty,
+                writable=False,  # read-only port: no dirty-path conditions
+            )
+        )
+        self.dcache = self.child(
+            SetAssocCache(
+                "rocket.dcache", cov,
+                ways=p.dcache_ways, sets=p.dcache_sets, line_bytes=p.line_bytes,
+                miss_penalty=p.dcache_miss_penalty,
+            )
+        )
+        self.predictor = self.child(BranchPredictor("rocket.frontend.bpu", cov))
+        self.tracer = self.child(Tracer("rocket.tracer", cov, p))
+        self.debug = self.child(DebugUnit("rocket.dm", cov))
+        self.irq = self.child(InterruptController("rocket.clint", cov))
+
+        self._hit_streak = 0
+        self._last_line: int | None = None
+
+        self.conditions(
+            # frontend
+            "frontend.fetch_fault",
+            "frontend.redirect",
+            "frontend.line_cross",
+            # decode
+            "decode.is_alu_reg",
+            "decode.is_alu_imm",
+            "decode.is_lui",
+            "decode.is_auipc",
+            "decode.is_load",
+            "decode.is_store",
+            "decode.is_branch",
+            "decode.is_jal",
+            "decode.is_jalr",
+            "decode.is_amo",
+            "decode.is_lr",
+            "decode.is_sc",
+            "decode.is_muldiv",
+            "decode.is_csr",
+            "decode.is_system",
+            "decode.is_fence",
+            "decode.is_fencei",
+            "decode.illegal",
+            "decode.rd_x0",
+            "decode.rs1_x0",
+            "decode.word_op",
+            # hazards / bypass network
+            "hazard.raw_rs1_ex",
+            "hazard.raw_rs2_ex",
+            "hazard.raw_rs1_mem",
+            "hazard.raw_rs2_mem",
+            "hazard.load_use_stall",
+            "hazard.muldiv_busy",
+            "hazard.chain3",          # >=3-deep dependency chain in flight
+            "hazard.chain5",          # >=5-deep dependency chain
+            "hazard.sp_update_use",   # sp consumed right after an sp update
+            "hazard.load_use_after_miss",  # load-use stall on a missing load
+            # execute
+            "execute.br_taken",
+            "execute.br_backward",
+            "execute.result_zero",
+            "execute.result_negative",
+            "execute.div_by_zero",
+            "execute.div_overflow",
+            "execute.mul_high",
+            "execute.shift_zero_amount",
+            "execute.beq_taken",       # equality branch actually taken
+            "execute.link_reg_used",   # jal/jalr writing ra (call idiom)
+            "execute.muldiv_chain",    # muldiv consuming a muldiv result
+            "execute.div_after_mul",   # div issued in a mul's shadow
+            "execute.branch_after_cmp",  # slt/sltu result branched on
+            # CSR dataflow
+            "csr.write_read_roundtrip",  # read of a CSR written this test
+            "csr.mepc_user_write",       # explicit mepc write (not handler)
+            "csr.mstatus_mpp_clear",     # mstatus write dropping MPP
+            # memory unit
+            "mem.misaligned",
+            "mem.access_fault",
+            "mem.is_amo_op",
+            "mem.sc_success",
+            "mem.reservation_set",
+            "mem.storebuf_forward",
+            "mem.storebuf_full",
+            "mem.fencei_flush",
+            "mem.fencei_dirty",
+            "mem.base_is_sp",          # frame-pointer addressing idioms
+            "mem.base_is_gp_tp",
+            "mem.frame_access",        # sp-relative, small positive offset
+            "mem.neg_offset_store",    # push-style store
+            "mem.hit_streak4",         # >=4 consecutive D$ hits (locality)
+            "mem.same_line_reuse",     # access to the line touched last
+            # deep cache-controller FSM states: these need specific address
+            # sequences (locality, conflict, spill/reload patterns) that
+            # random instruction streams almost never form — the paper's
+            # "hard-to-reach critical components"
+            "mem.line_reuse3",         # same line touched 3+ times
+            "mem.set_thrash",          # two lines of one set each touched 2+
+            "mem.victim_revisit",      # access to a line evicted this test
+            "mem.redirty",             # store to an already-dirty line
+            "mem.coalesce",            # consecutive stores, same address
+            "mem.cross_line_pair",     # adjacent-line streaming pair
+            "mem.forward_depth2",      # store-buffer forward from older entry
+            "mem.spill_reload",        # sp-slot store later reloaded
+            "mem.sc_after_store_fail", # reservation broken by own store
+            "mem.amo_chain",           # AMO result feeding the next AMO
+            "mem.lr_replay",           # LR replacing a live reservation
+            # frontend loop/call behaviour
+            "frontend.loop_iteration",  # same branch PC taken twice
+            "frontend.tight_loop",      # short backward taken branch
+            "frontend.branch_both_ways",  # same branch seen taken AND not
+            "frontend.call_return_pair",  # return to the live call link
+            "frontend.call_depth2",       # nested call with ra spilled
+            "frontend.jalr_to_link",      # indirect jump through a live link
+            # CSR unit / trap logic
+            "csr.trap_taken",
+            *[f"csr.cause_is_{c}" for c in _CAUSE_CONDITIONS],
+            "csr.write",
+            "csr.read_only_violation",
+            "csr.priv_violation",
+            "csr.counter_read",
+            "csr.mret",
+            "csr.in_user_mode",
+            "csr.enter_user",
+            "csr.wfi",
+        )
+        cov.freeze()
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, program: list[int], base: int = DRAM_BASE) -> tuple[CommitTrace, CoverageReport]:
+        """Simulate one test program; returns (commit trace, coverage report)."""
+        p = self.params
+        self.reset()
+        self.cov.begin_run()
+
+        memory = SparseMemory()
+        memory.load_program(program, base)
+        memory.load_program(trap_handler_image(), TRAP_VECTOR)
+        state = ArchState(pc=base)
+        trace = CommitTrace()
+
+        handler_lo = TRAP_VECTOR
+        handler_hi = TRAP_VECTOR + 4 * len(trap_handler_image())
+
+        cycles = 0
+        traps_taken = 0
+        # (rd, was_load, was_muldiv) of the previous two retired instructions.
+        prev1: tuple[int | None, bool, bool] = (None, False, False)
+        prev2: tuple[int | None, bool, bool] = (None, False, False)
+        muldiv_busy_until = 0
+        store_buffer: list[int] = []
+        dep_chain = 0
+        prev_wrote_sp = False
+        branch_taken_counts: dict[int, int] = {}
+        self._hit_streak = 0
+        self._last_line: int | None = None
+        # Deep-FSM trackers (see the condition block in __init__).
+        self._line_touches: dict[int, int] = {}
+        self._evicted_lines: set[int] = set()
+        self._last_store_addr: int | None = None
+        self._sp_slots: set[int] = set()
+        self._resv_addr: int | None = None
+        self._resv_broken = False
+        self._amo_rd: int | None = None
+        self._amo_age = 0
+        self._prev_load_missed = False
+        link_stack: list[int] = []
+        ra_saved = False
+        branch_outcomes: dict[int, set[bool]] = {}
+        csrs_written: set[int] = set()
+        last_muldiv_was_mul = False
+        prev_was_cmp_rd: int | None = None
+
+        for _ in range(p.max_steps):
+            pc = state.pc
+            in_handler = handler_lo <= pc < handler_hi
+
+            self.irq.poll()
+            cycles += 1  # base CPI of 1
+
+            # ---------------- fetch (through the I$: Bug1 lives here) -------
+            word, fetch_cycles, fault = self._fetch(pc, memory)
+            cycles += fetch_cycles
+            if fault:
+                cycles += p.trap_penalty
+                traps_taken += 1
+                self._trap_conditions(EXC_INSTR_ACCESS_FAULT)
+                trace.append(TraceEntry(pc=pc, instr=0, priv=state.priv,
+                                        trap_cause=EXC_INSTR_ACCESS_FAULT,
+                                        trap_tval=pc))
+                state.reservation = None
+                state.pc = state.csr.enter_trap(
+                    EXC_INSTR_ACCESS_FAULT, pc, pc, state.priv)
+                state.priv = PRV_M
+                state.csr.tick()
+                if traps_taken >= p.max_traps:
+                    trace.stop_reason = "max_traps"
+                    break
+                continue
+
+            # ---------------- decode ----------------------------------------
+            instr = decode(word)
+            self._decode_conditions(instr, word)
+            if instr is None:
+                cycles += p.trap_penalty
+                traps_taken += 1
+                self._trap_conditions(EXC_ILLEGAL_INSTRUCTION)
+                trace.append(TraceEntry(pc=pc, instr=word, priv=state.priv,
+                                        trap_cause=EXC_ILLEGAL_INSTRUCTION,
+                                        trap_tval=word))
+                state.reservation = None
+                state.pc = state.csr.enter_trap(
+                    EXC_ILLEGAL_INSTRUCTION, pc, word, state.priv)
+                state.priv = PRV_M
+                state.csr.tick()
+                if traps_taken >= p.max_traps:
+                    trace.stop_reason = "max_traps"
+                    break
+                continue
+
+            spec = instr.spec
+
+            # ---------------- hazards ---------------------------------------
+            rs1 = instr.rs1 if spec.reads_rs1 else None
+            rs2 = instr.rs2 if spec.reads_rs2 else None
+            raw1_ex = rs1 is not None and rs1 != 0 and rs1 == prev1[0]
+            raw2_ex = rs2 is not None and rs2 != 0 and rs2 == prev1[0]
+            self.cond("hazard.raw_rs1_ex", raw1_ex)
+            self.cond("hazard.raw_rs2_ex", raw2_ex)
+            self.cond("hazard.raw_rs1_mem",
+                      rs1 is not None and rs1 != 0 and rs1 == prev2[0])
+            self.cond("hazard.raw_rs2_mem",
+                      rs2 is not None and rs2 != 0 and rs2 == prev2[0])
+            load_use = (raw1_ex or raw2_ex) and prev1[1]
+            self.cond("hazard.load_use_stall", load_use)
+            if load_use:
+                cycles += 1
+            muldiv_stall = spec.is_muldiv and cycles < muldiv_busy_until
+            self.cond("hazard.muldiv_busy", muldiv_stall)
+            if muldiv_stall:
+                cycles = muldiv_busy_until
+            if raw1_ex or raw2_ex:
+                dep_chain += 1
+            else:
+                dep_chain = 1 if spec.writes_rd else 0
+            self.cond("hazard.chain3", dep_chain >= 3)
+            self.cond("hazard.chain5", dep_chain >= 5)
+            self.cond("hazard.sp_update_use",
+                      prev_wrote_sp and rs1 == 2)
+            self.cond("hazard.load_use_after_miss",
+                      load_use and self._prev_load_missed)
+            prev_wrote_sp = spec.writes_rd and instr.rd == 2
+            if spec.is_muldiv:
+                self.cond("execute.muldiv_chain",
+                          (raw1_ex or raw2_ex) and prev1[2])
+                divlike_now = spec.mnemonic.startswith(("div", "rem"))
+                self.cond("execute.div_after_mul",
+                          divlike_now and last_muldiv_was_mul
+                          and cycles < muldiv_busy_until + p.mul_latency)
+                last_muldiv_was_mul = not divlike_now
+
+            # CSR-unit pre-checks (access legality conditions).
+            if spec.is_csr:
+                self.cond("csr.read_only_violation",
+                          csr_is_read_only(instr.csr)
+                          and not (spec.mnemonic in ("csrrs", "csrrc") and instr.rs1 == 0)
+                          and not (spec.mnemonic in ("csrrsi", "csrrci") and instr.zimm == 0))
+                self.cond("csr.priv_violation",
+                          state.priv < csr_min_privilege(instr.csr))
+                self.cond("csr.counter_read",
+                          instr.csr in (CSR_CYCLE, CSR_TIME, CSR_INSTRET))
+            self.cond("csr.in_user_mode", state.priv == PRV_U)
+
+            # ---------------- execute ---------------------------------------
+            predicted = False
+            if spec.is_branch:
+                predicted = self.predictor.predict(pc)
+            prv_before = state.priv
+            try:
+                result = execute(state, memory, instr, pc)
+            except Trap as trap:
+                trap = self._adjust_trap_priority(trap, instr, memory)
+                cycles += p.trap_penalty
+                traps_taken += 1
+                self._trap_conditions(trap.cause)
+                self._mem_fault_conditions(instr, trap)
+                trace.append(TraceEntry(pc=pc, instr=word, priv=prv_before,
+                                        trap_cause=trap.cause,
+                                        trap_tval=trap.tval))
+                state.reservation = None
+                store_buffer.clear()
+                state.pc = state.csr.enter_trap(trap.cause, pc, trap.tval, prv_before)
+                state.priv = PRV_M
+                state.csr.tick()
+                prev1, prev2 = (None, False, False), prev1
+                if traps_taken >= p.max_traps:
+                    trace.stop_reason = "max_traps"
+                    break
+                continue
+
+            self.cond("csr.trap_taken", False)
+            cycles += self._execute_conditions(instr, result, state, pc)
+            cycles += self._memory_model(instr, result, memory, store_buffer)
+
+            if spec.is_branch:
+                taken = result.next_pc != (pc + 4) & WORD_MASK
+                self.predictor.update(pc, taken, predicted)
+                if taken != predicted:
+                    cycles += p.mispredict_penalty
+                if taken:
+                    branch_taken_counts[pc] = branch_taken_counts.get(pc, 0) + 1
+                self.cond("frontend.loop_iteration",
+                          taken and branch_taken_counts.get(pc, 0) >= 2)
+                self.cond("frontend.tight_loop",
+                          taken and -64 <= instr.imm < 0)
+                self.cond("execute.beq_taken",
+                          spec.mnemonic == "beq" and taken)
+                outcomes = branch_outcomes.setdefault(pc, set())
+                outcomes.add(taken)
+                self.cond("frontend.branch_both_ways", len(outcomes) == 2)
+                self.cond("execute.branch_after_cmp",
+                          prev_was_cmp_rd is not None
+                          and prev_was_cmp_rd in (instr.rs1, instr.rs2))
+            if spec.is_jump:
+                self.cond("execute.link_reg_used", instr.rd == 1)
+                if spec.mnemonic == "jal" and instr.rd == 1:
+                    self.cond("frontend.call_depth2",
+                              ra_saved and bool(link_stack))
+                    link_stack.append((pc + 4) & WORD_MASK)
+                    del link_stack[:-8]
+                if spec.mnemonic == "jalr":
+                    via_link = instr.rs1 == 1 and bool(link_stack)
+                    self.cond("frontend.jalr_to_link", via_link)
+                    is_return = (
+                        via_link and instr.rd == 0
+                        and link_stack and result.next_pc == link_stack[-1]
+                    )
+                    self.cond("frontend.call_return_pair", is_return)
+                    if is_return:
+                        link_stack.pop()
+            prev_was_cmp_rd = (
+                instr.rd
+                if spec.mnemonic in ("slt", "sltu", "slti", "sltiu") and instr.rd
+                else None
+            )
+            if spec.is_store and instr.rs2 == 1:
+                ra_saved = True
+            elif spec.is_load and instr.rd == 1:
+                ra_saved = False
+            if spec.is_csr:
+                self.cond("csr.write_read_roundtrip",
+                          not in_handler and instr.csr in csrs_written)
+                will_write = result.csr_write is not None
+                self.cond("csr.mepc_user_write",
+                          not in_handler and will_write
+                          and instr.csr == CSR_MEPC)
+                mpp_cleared = (
+                    will_write and instr.csr == CSR_MSTATUS
+                    and result.csr_write[1] & 0x1800 == 0
+                )
+                self.cond("csr.mstatus_mpp_clear", mpp_cleared)
+                if will_write and not in_handler:
+                    csrs_written.add(instr.csr)
+            self.cond("frontend.redirect",
+                      result.next_pc != (pc + 4) & WORD_MASK)
+
+            if spec.mnemonic == "fence.i":
+                dirty = any(
+                    line.dirty for ways in self.dcache.lines for line in ways
+                )
+                self.cond("mem.fencei_flush", True)
+                self.cond("mem.fencei_dirty", dirty)
+                self.icache.invalidate_all()
+                cycles += p.fencei_penalty
+            elif spec.is_fence:
+                self.cond("mem.fencei_flush", False)
+
+            self.cond("csr.mret", spec.mnemonic == "mret")
+            self.cond("csr.enter_user",
+                      spec.mnemonic == "mret" and state.priv == PRV_U)
+            self.cond("csr.wfi", result.halt)
+            self.cond("csr.write", result.csr_write is not None)
+
+            # ---------------- retire ----------------------------------------
+            if not in_handler:
+                trace.append(self.tracer.retire(pc, instr, prv_before, result))
+            if spec.is_muldiv:
+                latency = (
+                    p.div_latency if spec.mnemonic.startswith(("div", "rem"))
+                    else p.mul_latency
+                )
+                muldiv_busy_until = cycles + latency
+            prev1, prev2 = (
+                (result.rd if result.rd else None, spec.is_load, spec.is_muldiv),
+                prev1,
+            )
+            state.pc = result.next_pc & WORD_MASK
+            state.csr.tick()
+            if p.timed_counter_csr:
+                # Expose the timed cycle count through mcycle — realistic,
+                # but a false-positive source vs. the untimed golden model.
+                delta = cycles - state.csr.raw_read(CSR_MCYCLE)
+                if delta > 0:
+                    state.csr.tick(cycles=delta, instret=0)
+            if result.halt:
+                trace.stop_reason = "wfi"
+                break
+        else:
+            trace.stop_reason = "max_steps"
+
+        trace.cycles = cycles
+        return trace, CoverageReport.from_coverage(self.cov, cycles)
+
+    # ---------------------------------------------------------------- fetch --
+
+    def _fetch(self, pc: int, memory: SparseMemory) -> tuple[int, int, bool]:
+        """Fetch through the I$. Returns (word, extra_cycles, fault).
+
+        With ``bug1_fencei`` enabled, a cached line is served even when the
+        backing memory has since been modified — the stale-instruction
+        behaviour behind CWE-1202.
+        """
+        if not memory.is_mapped(pc, 4):
+            self.cond("frontend.fetch_fault", True)
+            return 0, 0, True
+        self.cond("frontend.fetch_fault", False)
+        self.cond("frontend.line_cross",
+                  (pc & (self.icache.line_bytes - 1)) == self.icache.line_bytes - 4)
+        line = self.icache.lookup(pc)
+        if line is None:
+            self.icache.refill(pc, memory.read_bytes)
+            cached = self.icache.read_cached(pc, 4)
+            return int.from_bytes(cached, "little"), self.icache.miss_penalty, False
+        cached = self.icache.read_cached(pc, 4)
+        if not self.params.bug1_fencei:
+            # Clean core: I$ snoops stores, so always serve fresh memory.
+            return int.from_bytes(memory.read_bytes(pc, 4), "little"), 0, False
+        return int.from_bytes(cached, "little"), 0, False
+
+    # ------------------------------------------------------------- conditions --
+
+    def _decode_conditions(self, instr, word: int) -> None:
+        spec = instr.spec if instr is not None else None
+        m = spec.mnemonic if spec else ""
+        self.cond("decode.illegal", instr is None)
+        self.cond("decode.is_alu_reg", spec is not None and spec.fmt == "R"
+                  and not spec.is_muldiv)
+        self.cond("decode.is_alu_imm", spec is not None
+                  and spec.fmt in ("I", "I_SHIFT64", "I_SHIFT32")
+                  and not (spec.is_load or spec.is_jump))
+        self.cond("decode.is_lui", m == "lui")
+        self.cond("decode.is_auipc", m == "auipc")
+        self.cond("decode.is_load", spec is not None and spec.is_load)
+        self.cond("decode.is_store", spec is not None and spec.is_store)
+        self.cond("decode.is_branch", spec is not None and spec.is_branch)
+        self.cond("decode.is_jal", m == "jal")
+        self.cond("decode.is_jalr", m == "jalr")
+        self.cond("decode.is_amo", spec is not None and spec.is_amo
+                  and not m.startswith(("lr.", "sc.")))
+        self.cond("decode.is_lr", m.startswith("lr."))
+        self.cond("decode.is_sc", m.startswith("sc."))
+        self.cond("decode.is_muldiv", spec is not None and spec.is_muldiv)
+        self.cond("decode.is_csr", spec is not None and spec.is_csr)
+        self.cond("decode.is_system", spec is not None and spec.is_system)
+        self.cond("decode.is_fence", m == "fence")
+        self.cond("decode.is_fencei", m == "fence.i")
+        self.cond("decode.rd_x0", spec is not None and spec.writes_rd
+                  and instr.rd == 0)
+        self.cond("decode.rs1_x0", spec is not None and spec.reads_rs1
+                  and instr.rs1 == 0)
+        word_op = spec is not None and (
+            (m.endswith("w") and m not in ("lw", "sw", "lwu", "lhu"))
+            or m.endswith(".w")
+        )
+        self.cond("decode.word_op", word_op)
+
+    def _execute_conditions(self, instr, result, state, pc: int) -> int:
+        """Record execute-stage conditions; returns extra cycles."""
+        spec = instr.spec
+        extra = 0
+        if spec.is_branch:
+            taken = result.next_pc != (pc + 4) & WORD_MASK
+            self.cond("execute.br_taken", taken)
+            self.cond("execute.br_backward", instr.imm < 0)
+        if result.rd is not None and result.rd != 0:
+            self.cond("execute.result_zero", result.rd_value == 0)
+            self.cond("execute.result_negative", bool(result.rd_value >> 63))
+        if spec.is_muldiv:
+            m = spec.mnemonic
+            divlike = m.startswith(("div", "rem"))
+            if divlike:
+                divisor = state.read_reg(instr.rs2)
+                self.cond("execute.div_by_zero", divisor == 0)
+                dividend = state.read_reg(instr.rs1)
+                self.cond(
+                    "execute.div_overflow",
+                    divisor == WORD_MASK and dividend == 1 << 63,
+                )
+                extra += self.params.div_latency
+            else:
+                self.cond("execute.mul_high", m in ("mulh", "mulhsu", "mulhu"))
+                extra += self.params.mul_latency
+        if spec.fmt in ("I_SHIFT64", "I_SHIFT32"):
+            self.cond("execute.shift_zero_amount", instr.shamt == 0)
+        return extra
+
+    def _memory_model(self, instr, result, memory, store_buffer: list[int]) -> int:
+        """D$-side modelling for a successfully executed instruction."""
+        spec = instr.spec
+        # SC conditions must also fire for *failed* SCs, which perform no
+        # memory operation at all.
+        if spec.mnemonic.startswith("sc."):
+            failed = result.rd_value != 0
+            self.cond("mem.sc_success", not failed)
+            self.cond("mem.sc_after_store_fail", failed and self._resv_broken)
+            self._resv_addr = None
+            self._resv_broken = False
+        if result.mem is None:
+            return 0
+        extra = 0
+        addr = result.mem.addr
+        self.cond("mem.misaligned", False)
+        self.cond("mem.access_fault", False)
+        self.cond("mem.is_amo_op", spec.is_amo)
+        self.cond("mem.reservation_set", spec.mnemonic.startswith("lr."))
+        # Addressing-idiom and locality conditions.
+        imm = instr.imm if not spec.is_amo else 0
+        is_store = result.mem.is_store
+        self.cond("mem.base_is_sp", instr.rs1 == 2)
+        self.cond("mem.base_is_gp_tp", instr.rs1 in (3, 4))
+        self.cond("mem.frame_access", instr.rs1 == 2 and 0 <= imm < 64)
+        self.cond("mem.neg_offset_store", is_store and imm < 0)
+        line_key = addr // self.dcache.line_bytes
+        self.cond("mem.same_line_reuse", line_key == self._last_line)
+        self.cond("mem.cross_line_pair",
+                  self._last_line is not None
+                  and abs(line_key - self._last_line) == 1)
+        self._last_line = line_key
+
+        # Line-reuse / conflict FSM tracking.
+        touches = self._line_touches
+        touches[line_key] = touches.get(line_key, 0) + 1
+        self.cond("mem.line_reuse3", touches[line_key] >= 3)
+        set_idx = self.dcache.set_index(addr)
+        same_set_hot = [
+            key for key, count in touches.items()
+            if count >= 2 and self.dcache.set_index(key * self.dcache.line_bytes) == set_idx
+        ]
+        self.cond("mem.set_thrash",
+                  touches[line_key] >= 2 and len(same_set_hot) >= 2)
+        self.cond("mem.victim_revisit", line_key in self._evicted_lines)
+        self.cond("mem.redirty", is_store and self.dcache.is_dirty(addr))
+        self.cond("mem.coalesce", is_store and addr == self._last_store_addr)
+        if is_store:
+            self._last_store_addr = addr
+
+        # Spill/reload: sp-relative store slot later loaded back.
+        if instr.rs1 == 2 and not spec.is_amo:
+            if is_store:
+                self._sp_slots.add(addr)
+                self.cond("mem.spill_reload", False)
+            else:
+                self.cond("mem.spill_reload", addr in self._sp_slots)
+
+        # LR reservation FSM (the SC side is handled above, before the
+        # early-return, so failed SCs participate too).
+        m = spec.mnemonic
+        if m.startswith("lr."):
+            self.cond("mem.lr_replay", self._resv_addr is not None)
+            self._resv_addr = addr
+            self._resv_broken = False
+        elif is_store and not m.startswith("sc.") and addr == self._resv_addr:
+            self._resv_broken = True
+            self._resv_addr = None
+
+        # Chained atomics.
+        if spec.is_amo and not m.startswith(("lr.", "sc.")):
+            self.cond("mem.amo_chain",
+                      self._amo_rd is not None and self._amo_age <= 4
+                      and self._amo_rd in (instr.rs1, instr.rs2))
+            if result.rd:
+                self._amo_rd = result.rd
+                self._amo_age = 0
+        self._amo_age += 1
+
+        line = self.dcache.lookup(addr)
+        if line is not None:
+            self._hit_streak += 1
+        else:
+            self._hit_streak = 0
+        self.cond("mem.hit_streak4", self._hit_streak >= 4)
+        if line is None:
+            self.dcache.refill(addr, memory.read_bytes)
+            if self.dcache.last_evicted is not None:
+                self._evicted_lines.add(self.dcache.last_evicted)
+            extra += self.dcache.miss_penalty
+        self._prev_load_missed = spec.is_load and line is None
+        if result.mem.is_store:
+            data = result.mem.data.to_bytes(result.mem.size, "little")
+            self.dcache.update_stored_line(addr, data)
+            self.cond("mem.storebuf_full",
+                      len(store_buffer) >= self.params.store_buffer_depth)
+            if len(store_buffer) >= self.params.store_buffer_depth:
+                extra += 1
+                store_buffer.pop(0)
+            store_buffer.append(addr)
+        else:
+            self.cond("mem.storebuf_forward", addr in store_buffer)
+            if store_buffer:
+                store_buffer.pop(0)
+        return extra
+
+    def _trap_conditions(self, cause: int) -> None:
+        self.cond("csr.trap_taken", True)
+        for c in _CAUSE_CONDITIONS:
+            self.cond(f"csr.cause_is_{c}", cause == c)
+
+    def _mem_fault_conditions(self, instr, trap: Trap) -> None:
+        if instr is None or not instr.spec.is_memory:
+            return
+        self.cond("mem.misaligned",
+                  trap.cause in (EXC_LOAD_MISALIGNED, EXC_STORE_MISALIGNED))
+        self.cond("mem.access_fault",
+                  trap.cause in (EXC_LOAD_ACCESS_FAULT, EXC_STORE_ACCESS_FAULT))
+
+    # ----------------------------------------------------------- Finding1 ----
+
+    def _adjust_trap_priority(self, trap: Trap, instr, memory: SparseMemory) -> Trap:
+        """Finding1: report access-fault when an access is misaligned *and*
+        unmapped (the spec — and golden model — prioritise misaligned)."""
+        if not self.params.finding1_trap_priority or instr is None:
+            return trap
+        spec = instr.spec
+        if not spec.is_memory:
+            return trap
+        if trap.cause == EXC_LOAD_MISALIGNED:
+            size = _LOAD_SIZE.get(spec.mnemonic, 4 if spec.mnemonic.endswith(".w") else 8)
+            if not memory.is_mapped(trap.tval, size):
+                return Trap(EXC_LOAD_ACCESS_FAULT, tval=trap.tval)
+        elif trap.cause == EXC_STORE_MISALIGNED:
+            size = _STORE_SIZE.get(spec.mnemonic, 4 if spec.mnemonic.endswith(".w") else 8)
+            if not memory.is_mapped(trap.tval, size):
+                return Trap(EXC_STORE_ACCESS_FAULT, tval=trap.tval)
+        return trap

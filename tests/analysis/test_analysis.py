@@ -1,0 +1,89 @@
+"""Bug classification and report formatting."""
+
+from repro.analysis.bugs import (
+    KNOWN_BUGS,
+    classify_mismatch,
+    classify_mismatches,
+    detected_bugs,
+)
+from repro.analysis.report import format_table
+from repro.fuzzing.mismatch import Mismatch
+
+
+def mismatch(kind, *signature_tail):
+    return Mismatch(kind=kind, index=0, pc=0, detail="",
+                    signature=(kind, *signature_tail))
+
+
+class TestClassification:
+    def test_instr_word_is_bug1(self):
+        assert classify_mismatch(mismatch("instr_word", "addi")).bug_id == "BUG1"
+
+    def test_pc_divergence_attributed_to_bug1(self):
+        assert classify_mismatch(
+            mismatch("pc_divergence", "addi")).bug_id == "BUG1"
+
+    def test_muldiv_rd_missing_is_bug2(self):
+        match = classify_mismatch(mismatch("rd_missing", "mul"))
+        assert match.bug_id == "BUG2"
+        assert match.cwe == "CWE-440"
+
+    def test_non_muldiv_rd_missing_unexplained(self):
+        assert classify_mismatch(mismatch("rd_missing", "add")) is None
+
+    def test_amo_x0_is_finding2(self):
+        assert classify_mismatch(
+            mismatch("rd_spurious_x0", "amoor.d")).bug_id == "FINDING2"
+
+    def test_jalr_x0_is_finding3(self):
+        assert classify_mismatch(
+            mismatch("rd_spurious_x0", "jalr")).bug_id == "FINDING3"
+
+    def test_trap_priority_is_finding1(self):
+        assert classify_mismatch(
+            mismatch("trap_cause", "ld", 5, 4)).bug_id == "FINDING1"
+        assert classify_mismatch(
+            mismatch("trap_cause", "sd", 7, 6)).bug_id == "FINDING1"
+
+    def test_other_trap_mismatch_unexplained(self):
+        assert classify_mismatch(mismatch("trap_cause", "ld", 2, 8)) is None
+
+    def test_rd_value_unexplained(self):
+        assert classify_mismatch(mismatch("rd_value", "add")) is None
+
+
+class TestGrouping:
+    def test_classify_mismatches_groups(self):
+        groups = classify_mismatches([
+            mismatch("instr_word", "addi"),
+            mismatch("rd_missing", "mul"),
+            mismatch("rd_value", "add"),
+        ])
+        assert set(groups) == {"BUG1", "BUG2", "UNEXPLAINED"}
+
+    def test_detected_bugs(self):
+        bugs = detected_bugs([
+            mismatch("instr_word", "addi"),
+            mismatch("rd_spurious_x0", "jalr"),
+        ])
+        assert bugs == {"BUG1", "FINDING3"}
+
+    def test_known_bug_registry_complete(self):
+        assert set(KNOWN_BUGS) == {
+            "BUG1", "BUG2", "FINDING1", "FINDING2", "FINDING3"
+        }
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        table = format_table(["fuzzer", "cov%"],
+                             [["chatfuzz", "74.96"], ["thehuzz", "67.4"]],
+                             title="E-1P8K")
+        lines = table.splitlines()
+        assert lines[0] == "E-1P8K"
+        assert "chatfuzz" in lines[3]
+        assert len(lines[1]) == len(lines[2])  # header matches separator
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table

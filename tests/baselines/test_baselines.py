@@ -1,0 +1,134 @@
+"""Baseline fuzzers: mutation operators, pool policies, feedback channels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.difuzzrtl import DifuzzRTLGenerator
+from repro.baselines.mutations import MutationEngine
+from repro.baselines.random_regression import RandomRegressionGenerator
+from repro.baselines.thehuzz import TheHuzzGenerator
+from repro.coverage.calculator import InputCoverage
+from repro.isa.decoder import decode
+from repro.rtl.report import CoverageReport
+from repro.soc.rocket import RocketCore
+
+
+class TestMutationEngine:
+    def test_random_instructions_always_valid(self):
+        engine = MutationEngine(seed=1)
+        for _ in range(200):
+            assert decode(engine.random_instruction()) is not None
+
+    def test_random_body_length(self):
+        assert len(MutationEngine(seed=2).random_body(24)) == 24
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_by_seed(self, seed):
+        a = MutationEngine(seed=seed).random_body(8)
+        b = MutationEngine(seed=seed).random_body(8)
+        assert a == b
+
+    def test_bit_flip_changes_exactly_one_word(self):
+        engine = MutationEngine(seed=3)
+        body = engine.random_body(10)
+        mutated = engine.bit_flip(body)
+        diffs = [i for i in range(10) if body[i] != mutated[i]]
+        assert len(diffs) == 1
+        assert bin(body[diffs[0]] ^ mutated[diffs[0]]).count("1") == 1
+
+    def test_swap_preserves_multiset(self):
+        engine = MutationEngine(seed=4)
+        body = engine.random_body(10)
+        assert sorted(engine.swap(body)) == sorted(body)
+
+    def test_delete_shrinks(self):
+        engine = MutationEngine(seed=5)
+        assert len(engine.delete([1, 2, 3])) == 2
+
+    def test_clone_grows(self):
+        engine = MutationEngine(seed=6)
+        assert len(engine.clone([1, 2, 3])) == 4
+
+    def test_mutate_never_returns_empty(self):
+        engine = MutationEngine(seed=7)
+        body = [engine.random_instruction()]
+        for _ in range(50):
+            body = engine.mutate(body, n_ops=2)
+            assert body
+
+
+def coverage(incremental):
+    return InputCoverage(standalone=5, incremental=incremental,
+                         total=10, total_arms=100)
+
+
+def report(hits):
+    return CoverageReport(hits=frozenset(hits), total_arms=100)
+
+
+class TestTheHuzz:
+    def test_first_batch_is_all_seeds(self):
+        generator = TheHuzzGenerator(seed=1)
+        batch = generator.generate_batch(8)
+        assert all(test.source == "seed" for test in batch)
+
+    def test_mutations_after_feedback(self):
+        generator = TheHuzzGenerator(seed=1, body_instructions=8)
+        batch = generator.generate_batch(8)
+        generator.observe(batch, [coverage(1)] * 8, [1.0] * 8,
+                          [report({i}) for i in range(8)])
+        second = generator.generate_batch(8)
+        assert any(test.source == "mutation" for test in second)
+
+    def test_admission_requires_novel_coverage(self):
+        generator = TheHuzzGenerator(seed=1)
+        batch = generator.generate_batch(4)
+        same = report({1, 2})
+        generator.observe(batch, [coverage(1)] * 4, [1.0] * 4, [same] * 4)
+        assert len(generator.pool) == 1  # later duplicates add nothing new
+
+    def test_pool_capped_to_recent(self):
+        generator = TheHuzzGenerator(seed=1, corpus_size=4)
+        for i in range(10):
+            batch = generator.generate_batch(2)
+            reports = [report({2 * i}), report({2 * i + 1})]
+            generator.observe(batch, [coverage(1)] * 2, [1.0] * 2, reports)
+        assert len(generator.pool) == 4
+
+
+class TestDifuzzRTL:
+    def test_for_core_extracts_control_arms(self):
+        generator = DifuzzRTLGenerator.for_core(RocketCore())
+        assert generator.control_arm_indices
+        # Every control arm belongs to a csr/frontend condition.
+        names = RocketCore().cov.names()
+        for arm in generator.control_arm_indices:
+            assert names[arm // 2].startswith(
+                ("rocket.csr", "rocket.frontend"))
+
+    def test_admission_ignores_datapath_novelty(self):
+        generator = DifuzzRTLGenerator(
+            control_arm_indices=frozenset({0, 1}), seed=2)
+        batch = generator.generate_batch(2)
+        # Report with novelty only outside the control subset: not admitted.
+        generator.observe(batch, [coverage(1)] * 2, [1.0] * 2,
+                          [report({50}), report({60})])
+        assert generator.pool == []
+        # Control-visible novelty is admitted.
+        generator.observe(batch, [coverage(1)] * 2, [1.0] * 2,
+                          [report({0}), report({50})])
+        assert len(generator.pool) == 1
+
+
+class TestRandomRegression:
+    def test_every_batch_fresh(self):
+        generator = RandomRegressionGenerator(seed=3)
+        a = generator.generate_batch(4)
+        b = generator.generate_batch(4)
+        assert [t.words for t in a] != [t.words for t in b]
+
+    def test_no_observe_hook_needed(self):
+        generator = RandomRegressionGenerator(seed=3)
+        assert not hasattr(generator, "observe")

@@ -1,0 +1,42 @@
+"""Corpus container: synthesis, statistics, persistence."""
+
+from repro.dataset.corpus import Corpus
+
+
+class TestSynthesis:
+    def test_synthesize_counts(self):
+        corpus = Corpus.synthesize(15, seed=6)
+        assert len(corpus) == 15
+        assert corpus.total_instructions() > 15 * 5
+
+    def test_histogram_has_no_invalid(self):
+        corpus = Corpus.synthesize(20, seed=6)
+        assert "<invalid>" not in corpus.mnemonic_histogram()
+
+    def test_histogram_reflects_compiled_shape(self):
+        histogram = Corpus.synthesize(50, seed=1).mnemonic_histogram()
+        # Compiled code is dominated by addi/loads/stores; every function
+        # has prologue stores, epilogue loads and a ret (jalr).
+        assert histogram["addi"] > histogram.get("mulw", 0)
+        assert histogram["sd"] >= 50
+        assert histogram["jalr"] >= 50
+
+    def test_split(self):
+        corpus = Corpus.synthesize(40, seed=2)
+        train, validation = corpus.split(validation_fraction=0.1)
+        assert len(train) == 36
+        assert len(validation) == 4
+        assert train.entries + validation.entries == corpus.entries
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        corpus = Corpus.synthesize(8, seed=3)
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        loaded = Corpus.load(path)
+        assert loaded.entries == corpus.entries
+
+    def test_indexing_and_iteration(self):
+        corpus = Corpus.synthesize(3, seed=5)
+        assert list(iter(corpus))[0] == corpus[0]

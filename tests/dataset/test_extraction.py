@@ -1,0 +1,46 @@
+"""Static function extraction from flat binaries."""
+
+from repro.dataset.codegen import FunctionGenerator, generate_binary
+from repro.dataset.extraction import extract_functions
+from repro.isa.encoder import encode
+
+
+class TestExtraction:
+    def test_recovers_all_functions(self):
+        binary = generate_binary(25, seed=4)
+        functions = extract_functions(binary)
+        assert len(functions) == 25
+
+    def test_functions_match_generated(self):
+        generator = FunctionGenerator(seed=8)
+        originals = [generator.function().words for _ in range(5)]
+        binary = []
+        for words in originals:
+            binary += list(words)
+            while len(binary) % 4:
+                binary.append(0)
+        extracted = extract_functions(binary)
+        assert [tuple(f) for f in extracted] == [tuple(o) for o in originals]
+
+    def test_padding_not_included(self):
+        binary = generate_binary(5, seed=2)
+        for function in extract_functions(binary):
+            assert 0 not in function
+
+    def test_empty_binary(self):
+        assert extract_functions([]) == []
+
+    def test_garbage_only(self):
+        assert extract_functions([0, 0xFFFFFFFF, 0]) == []
+
+    def test_function_without_ret_skipped(self):
+        prologue = encode("addi", rd=2, rs1=2, imm=-16)
+        assert extract_functions([prologue, 0, 0]) == []
+
+    def test_max_len_guard(self):
+        prologue = encode("addi", rd=2, rs1=2, imm=-16)
+        nop = encode("addi", rd=0, rs1=0, imm=0)
+        ret = encode("jalr", rd=0, rs1=1, imm=0)
+        binary = [prologue] + [nop] * 600 + [ret]
+        assert extract_functions(binary, max_len=512) == []
+        assert len(extract_functions(binary, max_len=1024)) == 1

@@ -1,0 +1,128 @@
+"""Mismatch detector: every divergence kind, filters, unique dedup."""
+
+from repro.golden.trace import CommitTrace, MemOp, TraceEntry
+from repro.fuzzing.mismatch import (
+    MismatchDetector,
+    compare_traces,
+    counter_csr_filter,
+)
+from repro.isa.encoder import encode
+
+
+def entry(pc=0x8000_0000, instr=0x13, **kwargs):
+    return TraceEntry(pc=pc, instr=instr, priv=3, **kwargs)
+
+
+def trace_of(*entries, stop="wfi"):
+    trace = CommitTrace()
+    for e in entries:
+        trace.append(e)
+    trace.stop_reason = stop
+    return trace
+
+
+class TestCompareKinds:
+    def test_identical_traces_clean(self):
+        a = trace_of(entry(rd=5, rd_value=7))
+        b = trace_of(entry(rd=5, rd_value=7))
+        assert compare_traces(a, b) == []
+
+    def test_pc_divergence_stops_comparison(self):
+        dut = trace_of(entry(pc=0x100), entry(pc=0x104, rd=1, rd_value=1))
+        gold = trace_of(entry(pc=0x200), entry(pc=0x204, rd=1, rd_value=2))
+        mismatches = compare_traces(dut, gold)
+        assert len(mismatches) == 1
+        assert mismatches[0].kind == "pc_divergence"
+
+    def test_instr_word_divergence(self):
+        dut = trace_of(entry(instr=0xAAAA))
+        gold = trace_of(entry(instr=0xBBBB))
+        assert compare_traces(dut, gold)[0].kind == "instr_word"
+
+    def test_trap_cause_mismatch(self):
+        dut = trace_of(entry(trap_cause=5))
+        gold = trace_of(entry(trap_cause=4))
+        found = compare_traces(dut, gold)
+        assert found[0].kind == "trap_cause"
+        assert found[0].signature[2:] == (5, 4)
+
+    def test_rd_missing(self):
+        dut = trace_of(entry())
+        gold = trace_of(entry(rd=5, rd_value=9))
+        assert compare_traces(dut, gold)[0].kind == "rd_missing"
+
+    def test_rd_spurious_x0(self):
+        dut = trace_of(entry(rd=0, rd_value=9))
+        gold = trace_of(entry())
+        assert compare_traces(dut, gold)[0].kind == "rd_spurious_x0"
+
+    def test_rd_value_mismatch(self):
+        dut = trace_of(entry(rd=5, rd_value=1))
+        gold = trace_of(entry(rd=5, rd_value=2))
+        assert compare_traces(dut, gold)[0].kind == "rd_value"
+
+    def test_rd_target_mismatch(self):
+        dut = trace_of(entry(rd=5, rd_value=1))
+        gold = trace_of(entry(rd=6, rd_value=1))
+        assert compare_traces(dut, gold)[0].kind == "rd_target"
+
+    def test_mem_mismatch(self):
+        dut = trace_of(entry(mem=MemOp(0x100, 8, True, 1)))
+        gold = trace_of(entry(mem=MemOp(0x100, 8, True, 2)))
+        assert compare_traces(dut, gold)[0].kind == "mem"
+
+    def test_csr_mismatch(self):
+        dut = trace_of(entry(csr_write=(0x300, 1)))
+        gold = trace_of(entry(csr_write=(0x300, 2)))
+        assert compare_traces(dut, gold)[0].kind == "csr"
+
+    def test_trace_length_mismatch(self):
+        dut = trace_of(entry(), entry(pc=0x8000_0004))
+        gold = trace_of(entry())
+        assert compare_traces(dut, gold)[-1].kind == "trace_length"
+
+    def test_stop_reason_mismatch(self):
+        dut = trace_of(entry(), stop="wfi")
+        gold = trace_of(entry(), stop="max_steps")
+        assert compare_traces(dut, gold)[-1].kind == "stop_reason"
+
+
+class TestDetector:
+    def test_unique_dedup_by_signature(self):
+        detector = MismatchDetector()
+        dut = trace_of(entry(rd=5, rd_value=1))
+        gold = trace_of(entry(rd=5, rd_value=2))
+        for _ in range(10):
+            detector.observe(dut, gold)
+        assert detector.raw_count == 10
+        assert detector.unique_count == 1
+
+    def test_by_kind_histogram(self):
+        detector = MismatchDetector()
+        detector.observe(trace_of(entry(rd=0, rd_value=9)), trace_of(entry()))
+        assert detector.by_kind == {"rd_spurious_x0": 1}
+
+    def test_counter_filter_suppresses_cycle_reads(self):
+        csrr_cycle = encode("csrrs", rd=5, csr=0xC00, rs1=0)
+        detector = MismatchDetector(filters=[counter_csr_filter])
+        dut = trace_of(entry(instr=csrr_cycle, rd=5, rd_value=100))
+        gold = trace_of(entry(instr=csrr_cycle, rd=5, rd_value=42))
+        surviving = detector.observe(dut, gold)
+        assert surviving == []
+        assert detector.filtered_count == 1
+        assert detector.unique_count == 0
+
+    def test_counter_filter_leaves_other_mismatches(self):
+        add = encode("add", rd=5, rs1=1, rs2=2)
+        detector = MismatchDetector(filters=[counter_csr_filter])
+        dut = trace_of(entry(instr=add, rd=5, rd_value=100))
+        gold = trace_of(entry(instr=add, rd=5, rd_value=42))
+        assert len(detector.observe(dut, gold)) == 1
+
+    def test_summary_renders(self):
+        detector = MismatchDetector()
+        detector.observe(trace_of(entry(rd=5, rd_value=1)),
+                         trace_of(entry(rd=5, rd_value=2)))
+        text = detector.summary()
+        assert "raw mismatches:" in text
+        assert "unique mismatches:" in text

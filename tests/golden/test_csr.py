@@ -1,0 +1,117 @@
+"""CSR file: access control, WARL behaviour, counters, trap entry/return."""
+
+import pytest
+
+from repro.golden.csr import (
+    CSRFile,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MSTATUS_MPP_MASK,
+    MSTATUS_MPP_SHIFT,
+)
+from repro.golden.exceptions import Trap
+from repro.isa import spec
+from repro.isa.spec import PRV_M, PRV_U
+
+
+class TestAccessControl:
+    def test_read_machine_csr_from_user_traps(self):
+        csr = CSRFile()
+        with pytest.raises(Trap) as excinfo:
+            csr.read(spec.CSR_MSTATUS, PRV_U)
+        assert excinfo.value.cause == spec.EXC_ILLEGAL_INSTRUCTION
+
+    def test_unimplemented_csr_traps(self):
+        with pytest.raises(Trap):
+            CSRFile().read(0x7C0, PRV_M)
+
+    def test_write_read_only_traps(self):
+        with pytest.raises(Trap):
+            CSRFile().write(spec.CSR_MHARTID, 1, PRV_M)
+
+    def test_user_counter_read_allowed_by_mcounteren(self):
+        csr = CSRFile()
+        assert csr.read(spec.CSR_CYCLE, PRV_U) == 0
+
+    def test_user_counter_blocked_when_mcounteren_clear(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MCOUNTEREN, 0, PRV_M)
+        with pytest.raises(Trap):
+            csr.read(spec.CSR_CYCLE, PRV_U)
+        # Machine mode is never blocked by mcounteren.
+        assert csr.read(spec.CSR_CYCLE, PRV_M) == 0
+
+
+class TestWarl:
+    def test_misa_writes_ignored(self):
+        csr = CSRFile()
+        before = csr.read(spec.CSR_MISA, PRV_M)
+        csr.write(spec.CSR_MISA, 0, PRV_M)
+        assert csr.read(spec.CSR_MISA, PRV_M) == before
+
+    def test_mtvec_forced_direct_mode(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MTVEC, 0x8000_0003, PRV_M)
+        assert csr.read(spec.CSR_MTVEC, PRV_M) == 0x8000_0000
+
+    def test_mepc_low_bit_clear(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MEPC, 0x8000_0001, PRV_M)
+        assert csr.read(spec.CSR_MEPC, PRV_M) == 0x8000_0000
+
+    def test_mstatus_only_modelled_bits(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MSTATUS, 0xFFFF_FFFF_FFFF_FFFF, PRV_M)
+        value = csr.read(spec.CSR_MSTATUS, PRV_M)
+        assert value & ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_MASK) == 0
+
+    def test_mstatus_mpp_warl_snaps_to_machine(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MSTATUS, 0b01 << MSTATUS_MPP_SHIFT, PRV_M)  # S: invalid
+        mpp = (csr.read(spec.CSR_MSTATUS, PRV_M) & MSTATUS_MPP_MASK) >> MSTATUS_MPP_SHIFT
+        assert mpp == PRV_M
+
+    def test_mstatus_mpp_user_allowed(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MSTATUS, 0, PRV_M)
+        mpp = (csr.read(spec.CSR_MSTATUS, PRV_M) & MSTATUS_MPP_MASK) >> MSTATUS_MPP_SHIFT
+        assert mpp == PRV_U
+
+
+class TestCounters:
+    def test_tick_advances_both(self):
+        csr = CSRFile()
+        csr.tick(cycles=3, instret=1)
+        assert csr.read(spec.CSR_MCYCLE, PRV_M) == 3
+        assert csr.read(spec.CSR_MINSTRET, PRV_M) == 1
+
+    def test_user_aliases_reflect_machine_counters(self):
+        csr = CSRFile()
+        csr.tick(cycles=7, instret=7)
+        assert csr.read(spec.CSR_CYCLE, PRV_M) == 7
+        assert csr.read(spec.CSR_INSTRET, PRV_M) == 7
+        assert csr.read(spec.CSR_TIME, PRV_M) == 7
+
+
+class TestTrapEntryReturn:
+    def test_enter_trap_records_state(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MSTATUS, MSTATUS_MIE, PRV_M)
+        handler = csr.enter_trap(cause=5, epc=0x8000_0010, tval=0x123, priv=PRV_U)
+        assert handler == csr.read(spec.CSR_MTVEC, PRV_M)
+        assert csr.read(spec.CSR_MCAUSE, PRV_M) == 5
+        assert csr.read(spec.CSR_MEPC, PRV_M) == 0x8000_0010
+        assert csr.read(spec.CSR_MTVAL, PRV_M) == 0x123
+        mstatus = csr.read(spec.CSR_MSTATUS, PRV_M)
+        assert not mstatus & MSTATUS_MIE          # interrupts disabled
+        assert mstatus & MSTATUS_MPIE             # old MIE stacked
+        assert (mstatus & MSTATUS_MPP_MASK) >> MSTATUS_MPP_SHIFT == PRV_U
+
+    def test_leave_trap_restores(self):
+        csr = CSRFile()
+        csr.write(spec.CSR_MSTATUS, MSTATUS_MIE, PRV_M)
+        csr.enter_trap(cause=2, epc=0x8000_0020, tval=0, priv=PRV_U)
+        priv, return_pc = csr.leave_trap()
+        assert priv == PRV_U
+        assert return_pc == 0x8000_0020
+        assert csr.read(spec.CSR_MSTATUS, PRV_M) & MSTATUS_MIE  # MPIE restored

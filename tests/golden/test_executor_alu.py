@@ -1,0 +1,164 @@
+"""Executor ALU / M-extension semantics, including the spec's corner cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.golden.executor import execute
+from repro.golden.memory import SparseMemory
+from repro.golden.state import ArchState
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.fields import sign_extend, to_unsigned
+from repro.isa.spec import DRAM_BASE
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def run_one(mnemonic, a=0, b=0, **operands):
+    """Execute one instruction with rs1=a, rs2=b; returns the rd value."""
+    state = ArchState()
+    memory = SparseMemory()
+    state.write_reg(1, a)
+    state.write_reg(2, b)
+    defaults = dict(rd=3, rs1=1, rs2=2)
+    defaults.update(operands)
+    instr = decode(encode(mnemonic, **defaults))
+    result = execute(state, memory, instr, DRAM_BASE)
+    assert result.next_pc == DRAM_BASE + 4
+    return state.read_reg(3)
+
+
+class TestBasicAlu:
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_add_wraps(self, a, b):
+        assert run_one("add", a, b) == (a + b) % (1 << 64)
+
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_sub_wraps(self, a, b):
+        assert run_one("sub", a, b) == (a - b) % (1 << 64)
+
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_logic_ops(self, a, b):
+        assert run_one("and", a, b) == a & b
+        assert run_one("or", a, b) == a | b
+        assert run_one("xor", a, b) == a ^ b
+
+    def test_slt_signed(self):
+        assert run_one("slt", to_unsigned(-1), 0) == 1
+        assert run_one("slt", 0, to_unsigned(-1)) == 0
+        assert run_one("sltu", to_unsigned(-1), 0) == 0  # unsigned: max > 0
+
+    def test_shift_uses_low_six_bits_of_rs2(self):
+        assert run_one("sll", 1, 64) == 1       # shamt 64 & 0x3F == 0
+        assert run_one("sll", 1, 65) == 2
+
+    def test_sra_sign_fills(self):
+        assert run_one("sra", to_unsigned(-8), 1) == to_unsigned(-4)
+
+    def test_srl_zero_fills(self):
+        assert run_one("srl", to_unsigned(-8), 1) == (to_unsigned(-8) >> 1)
+
+    def test_lui_sign_extends(self):
+        value = run_one("lui", imm=0x80000, rd=3)
+        assert value == to_unsigned(sign_extend(0x80000 << 12, 32))
+
+    def test_auipc_adds_pc(self):
+        state = ArchState()
+        instr = decode(encode("auipc", rd=3, imm=0x10))
+        execute(state, SparseMemory(), instr, DRAM_BASE)
+        assert state.read_reg(3) == DRAM_BASE + 0x10000
+
+    def test_x0_write_discarded(self):
+        state = ArchState()
+        instr = decode(encode("addi", rd=0, rs1=0, imm=5))
+        execute(state, SparseMemory(), instr, DRAM_BASE)
+        assert state.read_reg(0) == 0
+
+
+class TestWordOps:
+    def test_addw_truncates_and_sign_extends(self):
+        assert run_one("addw", 0x7FFF_FFFF, 1) == to_unsigned(-(1 << 31))
+
+    def test_addiw(self):
+        assert run_one("addiw", 0xFFFF_FFFF, rd=3, rs1=1, imm=0) == to_unsigned(-1)
+
+    def test_subw(self):
+        assert run_one("subw", 0, 1) == to_unsigned(-1)
+
+    def test_sllw_wraps_32(self):
+        assert run_one("sllw", 1, 31) == to_unsigned(-(1 << 31))
+
+    def test_sraw(self):
+        assert run_one("sraw", 0x8000_0000, 4) == to_unsigned(-(1 << 27))
+
+    def test_srliw_zero_extends_within_32(self):
+        assert run_one("srliw", 0x8000_0000, rd=3, rs1=1, shamt=4) == 0x0800_0000
+
+    @given(U64)
+    @settings(max_examples=20, deadline=None)
+    def test_word_ops_only_see_low_32(self, a):
+        assert run_one("addw", a, 0) == run_one("addw", a & 0xFFFF_FFFF, 0)
+
+
+class TestMulDiv:
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_mul_low(self, a, b):
+        assert run_one("mul", a, b) == (a * b) % (1 << 64)
+
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_mulhu(self, a, b):
+        assert run_one("mulhu", a, b) == (a * b) >> 64
+
+    @given(U64, U64)
+    @settings(max_examples=30, deadline=None)
+    def test_mulh_signed(self, a, b):
+        expected = to_unsigned((sign_extend(a, 64) * sign_extend(b, 64)) >> 64)
+        assert run_one("mulh", a, b) == expected
+
+    def test_div_rounds_toward_zero(self):
+        assert run_one("div", to_unsigned(-7), 2) == to_unsigned(-3)
+        assert run_one("rem", to_unsigned(-7), 2) == to_unsigned(-1)
+
+    def test_div_by_zero(self):
+        assert run_one("div", 42, 0) == to_unsigned(-1)
+        assert run_one("divu", 42, 0) == (1 << 64) - 1
+        assert run_one("rem", 42, 0) == 42
+        assert run_one("remu", 42, 0) == 42
+
+    def test_div_overflow(self):
+        most_negative = 1 << 63
+        assert run_one("div", most_negative, to_unsigned(-1)) == most_negative
+        assert run_one("rem", most_negative, to_unsigned(-1)) == 0
+
+    def test_divw_by_zero(self):
+        assert run_one("divw", 5, 0) == to_unsigned(-1)
+
+    def test_divw_overflow(self):
+        assert run_one("divw", 0x8000_0000, to_unsigned(-1)) == to_unsigned(
+            -(1 << 31)
+        )
+
+    def test_remuw_sign_extends_result(self):
+        # 0x8000_0001 % 2 == 1; result sign-extended from 32 bits is just 1.
+        assert run_one("remuw", 0x8000_0001, 2) == 1
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+           st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_div_rem_identity(self, a, b):
+        """RISC-V requires dividend == divisor * quotient + remainder."""
+        if b == 0:
+            return
+        ua, ub = to_unsigned(a), to_unsigned(b)
+        q = sign_extend(run_one("div", ua, ub), 64)
+        r = sign_extend(run_one("rem", ua, ub), 64)
+        if a == -(1 << 63) and b == -1:  # overflow case has its own rule
+            return
+        assert a == b * q + r
+        assert abs(r) < abs(b)

@@ -1,0 +1,203 @@
+"""Executor memory semantics: loads/stores, trap priority, atomics, LR/SC."""
+
+import pytest
+
+from repro.golden.exceptions import Trap
+from repro.golden.executor import execute
+from repro.golden.memory import SparseMemory
+from repro.golden.state import ArchState
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.fields import to_unsigned
+from repro.isa.spec import (
+    DATA_BASE,
+    DRAM_BASE,
+    EXC_LOAD_ACCESS_FAULT,
+    EXC_LOAD_MISALIGNED,
+    EXC_STORE_ACCESS_FAULT,
+    EXC_STORE_MISALIGNED,
+)
+
+
+def fresh():
+    state = ArchState()
+    memory = SparseMemory()
+    state.write_reg(8, DATA_BASE)  # s0 -> valid data region
+    return state, memory
+
+
+def step(state, memory, mnemonic, **operands):
+    instr = decode(encode(mnemonic, **operands))
+    return execute(state, memory, instr, DRAM_BASE)
+
+
+class TestLoadsStores:
+    def test_store_load_roundtrip(self):
+        state, memory = fresh()
+        state.write_reg(5, 0xDEADBEEFCAFEF00D)
+        step(state, memory, "sd", rs2=5, rs1=8, imm=16)
+        step(state, memory, "ld", rd=6, rs1=8, imm=16)
+        assert state.read_reg(6) == 0xDEADBEEFCAFEF00D
+
+    def test_lb_sign_extends(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 0x80, 1)
+        step(state, memory, "lb", rd=6, rs1=8, imm=0)
+        assert state.read_reg(6) == to_unsigned(-128)
+
+    def test_lbu_zero_extends(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 0x80, 1)
+        step(state, memory, "lbu", rd=6, rs1=8, imm=0)
+        assert state.read_reg(6) == 0x80
+
+    def test_lw_sign_lwu_zero(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 0x8000_0000, 4)
+        step(state, memory, "lw", rd=6, rs1=8, imm=0)
+        assert state.read_reg(6) == to_unsigned(-(1 << 31))
+        step(state, memory, "lwu", rd=7, rs1=8, imm=0)
+        assert state.read_reg(7) == 0x8000_0000
+
+    def test_sb_stores_low_byte_only(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 0xFFFF, 2)
+        state.write_reg(5, 0xAA11)
+        step(state, memory, "sb", rs2=5, rs1=8, imm=0)
+        assert memory.load(DATA_BASE, 2) == 0xFF11
+
+    def test_mem_op_recorded_in_result(self):
+        state, memory = fresh()
+        result = step(state, memory, "sw", rs2=0, rs1=8, imm=4)
+        assert result.mem is not None
+        assert result.mem.is_store
+        assert result.mem.addr == DATA_BASE + 4
+        assert result.mem.size == 4
+
+
+class TestTrapPriority:
+    """The privileged spec orders misaligned above access-fault — the corner
+    RocketCore gets wrong (paper Finding1)."""
+
+    def test_misaligned_only(self):
+        state, memory = fresh()
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "lh", rd=6, rs1=8, imm=1)
+        assert excinfo.value.cause == EXC_LOAD_MISALIGNED
+
+    def test_unmapped_only(self):
+        state, memory = fresh()
+        state.write_reg(8, 0x1000)
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "ld", rd=6, rs1=8, imm=0)
+        assert excinfo.value.cause == EXC_LOAD_ACCESS_FAULT
+
+    def test_misaligned_and_unmapped_reports_misaligned(self):
+        state, memory = fresh()
+        state.write_reg(8, 0x1001)
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "ld", rd=6, rs1=8, imm=0)
+        assert excinfo.value.cause == EXC_LOAD_MISALIGNED
+
+    def test_store_misaligned_and_unmapped(self):
+        state, memory = fresh()
+        state.write_reg(8, 0x1001)
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "sd", rs2=0, rs1=8, imm=0)
+        assert excinfo.value.cause == EXC_STORE_MISALIGNED
+
+    def test_tval_is_address(self):
+        state, memory = fresh()
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "lw", rd=6, rs1=8, imm=2)
+        assert excinfo.value.tval == DATA_BASE + 2
+
+
+class TestAmo:
+    def test_amoadd(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 10, 8)
+        state.write_reg(5, 32)
+        result = step(state, memory, "amoadd.d", rd=6, rs1=8, rs2=5)
+        assert state.read_reg(6) == 10           # rd gets the old value
+        assert memory.load(DATA_BASE, 8) == 42   # memory gets the sum
+        assert result.mem.is_store
+
+    def test_amoswap_w_sign_extends_old(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 0x8000_0000, 4)
+        state.write_reg(5, 7)
+        step(state, memory, "amoswap.w", rd=6, rs1=8, rs2=5)
+        assert state.read_reg(6) == to_unsigned(-(1 << 31))
+        assert memory.load(DATA_BASE, 4) == 7
+
+    def test_amomax_signed(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, to_unsigned(-5, 64), 8)
+        state.write_reg(5, 3)
+        step(state, memory, "amomax.d", rd=6, rs1=8, rs2=5)
+        assert memory.load(DATA_BASE, 8) == 3
+
+    def test_amomaxu_unsigned(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, to_unsigned(-5, 64), 8)
+        state.write_reg(5, 3)
+        step(state, memory, "amomaxu.d", rd=6, rs1=8, rs2=5)
+        assert memory.load(DATA_BASE, 8) == to_unsigned(-5, 64)  # 0xff..fb > 3
+
+    def test_amo_with_rd_x0_still_updates_memory(self):
+        """Finding2's architectural half: the memory op happens; only x0
+        never changes (the DUT's *trace* is what differs)."""
+        state, memory = fresh()
+        memory.store(DATA_BASE, 1, 8)
+        state.write_reg(5, 2)
+        step(state, memory, "amoor.d", rd=0, rs1=8, rs2=5)
+        assert memory.load(DATA_BASE, 8) == 3
+        assert state.read_reg(0) == 0
+
+    def test_amo_misaligned_is_store_exception(self):
+        state, memory = fresh()
+        state.write_reg(8, DATA_BASE + 4)
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "amoadd.d", rd=6, rs1=8, rs2=5)
+        assert excinfo.value.cause == EXC_STORE_MISALIGNED
+
+
+class TestLrSc:
+    def test_lr_sets_reservation_sc_succeeds(self):
+        state, memory = fresh()
+        memory.store(DATA_BASE, 5, 8)
+        step(state, memory, "lr.d", rd=6, rs1=8)
+        assert state.reservation == DATA_BASE
+        state.write_reg(5, 99)
+        step(state, memory, "sc.d", rd=7, rs1=8, rs2=5)
+        assert state.read_reg(7) == 0           # success
+        assert memory.load(DATA_BASE, 8) == 99
+        assert state.reservation is None
+
+    def test_sc_without_reservation_fails(self):
+        state, memory = fresh()
+        step(state, memory, "sc.d", rd=7, rs1=8, rs2=5)
+        assert state.read_reg(7) == 1
+        assert memory.load(DATA_BASE, 8) == 0   # no store performed
+
+    def test_store_breaks_reservation(self):
+        state, memory = fresh()
+        step(state, memory, "lr.d", rd=6, rs1=8)
+        step(state, memory, "sd", rs2=0, rs1=8, imm=0)  # same address
+        step(state, memory, "sc.d", rd=7, rs1=8, rs2=5)
+        assert state.read_reg(7) == 1
+
+    def test_sc_to_different_address_fails(self):
+        state, memory = fresh()
+        step(state, memory, "lr.d", rd=6, rs1=8)
+        state.write_reg(9, DATA_BASE + 8)
+        step(state, memory, "sc.d", rd=7, rs1=9, rs2=5)
+        assert state.read_reg(7) == 1
+
+    def test_lr_misaligned_is_load_exception(self):
+        state, memory = fresh()
+        state.write_reg(8, DATA_BASE + 2)
+        with pytest.raises(Trap) as excinfo:
+            step(state, memory, "lr.w", rd=6, rs1=8)
+        assert excinfo.value.cause == EXC_LOAD_MISALIGNED

@@ -1,0 +1,98 @@
+"""Sparse memory: mapping, bulk/checked access, fault behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.golden.exceptions import Trap
+from repro.golden.memory import SparseMemory
+from repro.isa.spec import (
+    DRAM_BASE,
+    DRAM_SIZE,
+    EXC_INSTR_ACCESS_FAULT,
+    EXC_LOAD_ACCESS_FAULT,
+    EXC_STORE_ACCESS_FAULT,
+)
+
+
+class TestMapping:
+    def test_dram_mapped(self):
+        mem = SparseMemory()
+        assert mem.is_mapped(DRAM_BASE)
+        assert mem.is_mapped(DRAM_BASE + DRAM_SIZE - 8, 8)
+
+    def test_outside_unmapped(self):
+        mem = SparseMemory()
+        assert not mem.is_mapped(0)
+        assert not mem.is_mapped(DRAM_BASE - 1)
+        assert not mem.is_mapped(DRAM_BASE + DRAM_SIZE)
+
+    def test_straddling_end_unmapped(self):
+        mem = SparseMemory()
+        assert not mem.is_mapped(DRAM_BASE + DRAM_SIZE - 4, 8)
+
+    def test_custom_regions(self):
+        mem = SparseMemory(regions=((0x1000, 0x100), (0x4000, 0x10)))
+        assert mem.is_mapped(0x1000)
+        assert mem.is_mapped(0x400F)
+        assert not mem.is_mapped(0x2000)
+
+
+class TestAccess:
+    def test_load_store_roundtrip(self):
+        mem = SparseMemory()
+        mem.store(DRAM_BASE, 0x1122334455667788, 8)
+        assert mem.load(DRAM_BASE, 8) == 0x1122334455667788
+
+    def test_little_endian(self):
+        mem = SparseMemory()
+        mem.store(DRAM_BASE, 0x0102030405060708, 8)
+        assert mem.load(DRAM_BASE, 1) == 0x08
+        assert mem.load(DRAM_BASE + 7, 1) == 0x01
+
+    def test_store_truncates_to_width(self):
+        mem = SparseMemory()
+        mem.store(DRAM_BASE, 0x1FF, 1)
+        assert mem.load(DRAM_BASE, 1) == 0xFF
+
+    def test_uninitialised_reads_zero(self):
+        assert SparseMemory().load(DRAM_BASE + 0x500, 8) == 0
+
+    def test_cross_page_write(self):
+        mem = SparseMemory()
+        addr = DRAM_BASE + 0x1000 - 4  # straddles a 4 KiB page boundary
+        mem.store(addr, 0xAABBCCDDEEFF0011, 8)
+        assert mem.load(addr, 8) == 0xAABBCCDDEEFF0011
+
+    @given(st.integers(min_value=0, max_value=DRAM_SIZE - 8),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, offset, value):
+        mem = SparseMemory()
+        mem.store(DRAM_BASE + offset, value, 8)
+        assert mem.load(DRAM_BASE + offset, 8) == value
+
+
+class TestFaults:
+    def test_load_fault(self):
+        with pytest.raises(Trap) as excinfo:
+            SparseMemory().load(0x100, 8)
+        assert excinfo.value.cause == EXC_LOAD_ACCESS_FAULT
+        assert excinfo.value.tval == 0x100
+
+    def test_store_fault(self):
+        with pytest.raises(Trap) as excinfo:
+            SparseMemory().store(0x100, 1, 8)
+        assert excinfo.value.cause == EXC_STORE_ACCESS_FAULT
+
+    def test_fetch_fault(self):
+        with pytest.raises(Trap) as excinfo:
+            SparseMemory().fetch(0x100)
+        assert excinfo.value.cause == EXC_INSTR_ACCESS_FAULT
+
+
+class TestProgramLoading:
+    def test_load_program_words(self):
+        mem = SparseMemory()
+        mem.load_program([0x11223344, 0xAABBCCDD], DRAM_BASE)
+        assert mem.fetch(DRAM_BASE) == 0x11223344
+        assert mem.fetch(DRAM_BASE + 4) == 0xAABBCCDD

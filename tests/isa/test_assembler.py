@@ -1,0 +1,139 @@
+"""Two-pass assembler: labels, pseudo-instructions, operand syntax, errors."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, AssemblerError
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        assert Assembler().assemble("add x1, x2, x3") == [
+            encode("add", rd=1, rs1=2, rs2=3)
+        ]
+
+    def test_abi_names(self):
+        assert Assembler().assemble("add ra, sp, gp") == [
+            encode("add", rd=1, rs1=2, rs2=3)
+        ]
+
+    def test_fp_alias(self):
+        assert Assembler().assemble("addi fp, fp, 0") == [
+            encode("addi", rd=8, rs1=8, imm=0)
+        ]
+
+    def test_comments_and_blanks(self):
+        words = Assembler().assemble("""
+            # a comment
+            nop  # trailing comment
+
+        """)
+        assert words == [encode("addi", rd=0, rs1=0, imm=0)]
+
+    def test_memory_operand(self):
+        assert Assembler().assemble("ld t0, 8(sp)") == [
+            encode("ld", rd=5, rs1=2, imm=8)
+        ]
+
+    def test_store_memory_operand(self):
+        assert Assembler().assemble("sw a0, -4(s0)") == [
+            encode("sw", rs2=10, rs1=8, imm=-4)
+        ]
+
+    def test_amo_bare_paren(self):
+        assert Assembler().assemble("lr.d t1, (s0)") == [
+            encode("lr.d", rd=6, rs1=8)
+        ]
+
+    def test_csr_by_name_and_number(self):
+        by_name = Assembler().assemble("csrrw x0, mstatus, x1")
+        by_addr = Assembler().assemble("csrrw x0, 0x300, x1")
+        assert by_name == by_addr
+
+    def test_hex_immediates(self):
+        assert Assembler().assemble("addi a0, zero, 0x7f") == [
+            encode("addi", rd=10, rs1=0, imm=127)
+        ]
+
+    def test_word_directive(self):
+        assert Assembler().assemble(".word 0xdeadbeef") == [0xDEADBEEF]
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        words = Assembler().assemble("""
+        top:
+            addi a0, a0, -1
+            bne a0, zero, top
+        """)
+        branch = decode(words[1])
+        assert branch.imm == -4
+
+    def test_forward_branch(self):
+        words = Assembler().assemble("""
+            beq a0, zero, done
+            nop
+            nop
+        done:
+            nop
+        """)
+        assert decode(words[0]).imm == 12
+
+    def test_jal_label(self):
+        words = Assembler(base=0x1000).assemble("""
+            jal ra, fn
+            nop
+        fn:
+            ret
+        """)
+        assert decode(words[0]).imm == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            Assembler().assemble("a:\na:\nnop")
+
+    def test_label_on_same_line(self):
+        words = Assembler().assemble("loop: j loop")
+        assert decode(words[0]).imm == 0
+
+
+class TestPseudos:
+    @pytest.mark.parametrize("text,expected", [
+        ("nop", ("addi", dict(rd=0, rs1=0, imm=0))),
+        ("mv a0, a1", ("addi", dict(rd=10, rs1=11, imm=0))),
+        ("li t0, -5", ("addi", dict(rd=5, rs1=0, imm=-5))),
+        ("not a0, a1", ("xori", dict(rd=10, rs1=11, imm=-1))),
+        ("neg a0, a1", ("sub", dict(rd=10, rs1=0, rs2=11))),
+        ("ret", ("jalr", dict(rd=0, rs1=1, imm=0))),
+        ("beqz a0, 8", ("beq", dict(rs1=10, rs2=0, imm=8))),
+        ("bnez a0, -8", ("bne", dict(rs1=10, rs2=0, imm=-8))),
+        ("csrr t0, mhartid", ("csrrs", dict(rd=5, csr=0xF14, rs1=0))),
+        ("csrw mscratch, t0", ("csrrw", dict(rd=0, csr=0x340, rs1=5))),
+    ])
+    def test_expansion(self, text, expected):
+        mnemonic, operands = expected
+        assert Assembler().assemble(text) == [encode(mnemonic, **operands)]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "frobnicate x1, x2",
+        "add x1, x2",            # missing operand
+        "add x1, x2, x3, x4",    # extra operand
+        "addi x1, x99, 0",       # bad register
+        "addi x1, x2, 99999",    # immediate out of range
+        "beq a0, a1, 3",         # odd branch offset
+        "ld t0, undefined_label",  # unresolvable label as immediate
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(AssemblerError):
+            Assembler().assemble(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            Assembler().assemble("nop\nbogus x0")
+        except AssemblerError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected AssemblerError")

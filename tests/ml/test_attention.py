@@ -1,0 +1,64 @@
+"""Attention: causality is the must-hold invariant."""
+
+import numpy as np
+
+from repro.ml.attention import CausalSelfAttention, TransformerBlock, causal_mask
+from repro.ml.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.tril_indices(4)] == 0)
+        assert np.all(mask[np.triu_indices(4, k=1)] < -1e8)
+
+
+class TestCausalSelfAttention:
+    def test_output_shape(self):
+        attn = CausalSelfAttention(8, 2, RNG)
+        out = attn(Tensor(RNG.normal(size=(3, 5, 8)).astype(np.float32)))
+        assert out.shape == (3, 5, 8)
+
+    def test_causality(self):
+        """Changing a future token must not change past outputs."""
+        attn = CausalSelfAttention(8, 2, RNG)
+        x = RNG.normal(size=(1, 6, 8)).astype(np.float32)
+        base = attn(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0  # tamper with position 4
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :4], base[0, :4], atol=1e-5)
+        assert not np.allclose(out[0, 4:], base[0, 4:], atol=1e-3)
+
+    def test_rejects_bad_head_split(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CausalSelfAttention(7, 2, RNG)
+
+    def test_gradients_flow(self):
+        attn = CausalSelfAttention(4, 1, RNG)
+        x = Tensor.param(RNG.normal(size=(1, 3, 4)).astype(np.float32))
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert np.any(x.grad != 0)
+
+
+class TestTransformerBlock:
+    def test_residual_structure(self):
+        block = TransformerBlock(8, 2, 4, RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 8)).astype(np.float32))
+        out = block(x)
+        assert out.shape == (2, 4, 8)
+
+    def test_block_is_causal(self):
+        block = TransformerBlock(8, 2, 4, RNG)
+        x = RNG.normal(size=(1, 5, 8)).astype(np.float32)
+        base = block(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[0, -1] += 5.0
+        out = block(Tensor(perturbed)).data
+        assert np.allclose(out[0, :-1], base[0, :-1], atol=1e-5)

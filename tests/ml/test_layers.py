@@ -1,0 +1,89 @@
+"""NN layers: shapes, parameter collection, state round-trips."""
+
+import numpy as np
+
+from repro.ml.layers import MLP, Embedding, LayerNorm, Linear, Parameterized
+from repro.ml.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 6, RNG)
+        out = layer(Tensor(np.zeros((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 6)
+
+    def test_parameters(self):
+        layer = Linear(4, 6, RNG)
+        params = layer.parameters()
+        assert len(params) == 2
+        assert layer.num_parameters() == 4 * 6 + 6
+
+    def test_bias_applied(self):
+        layer = Linear(2, 2, RNG)
+        layer.bias.data[:] = 5.0
+        layer.weight.data[:] = 0.0
+        out = layer(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert np.allclose(out.data, 5.0)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, RNG)
+        out = emb(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+        assert np.allclose(out.data[0, 0], out.data[1, 1])
+
+    def test_gradient_scatters(self):
+        emb = Embedding(5, 3, RNG)
+        out = emb(np.array([[0, 0, 1]]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)  # used twice
+        assert np.allclose(emb.weight.grad[1], 1.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        ln = LayerNorm(8)
+        x = Tensor(RNG.normal(5.0, 3.0, size=(4, 8)).astype(np.float32))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestMLP:
+    def test_shapes_and_params(self):
+        mlp = MLP(8, 32, RNG)
+        out = mlp(Tensor(np.zeros((2, 8), dtype=np.float32)))
+        assert out.shape == (2, 8)
+        assert len(mlp.parameters()) == 4
+
+
+class TestParameterized:
+    def test_nested_collection_dedupes(self):
+        class Net(Parameterized):
+            def __init__(self):
+                self.a = Linear(2, 2, RNG)
+                self.blocks = [LayerNorm(2), LayerNorm(2)]
+                self.alias = self.a  # shared reference must not double-count
+
+        net = Net()
+        assert len(net.parameters()) == 2 + 2 + 2
+
+    def test_state_roundtrip(self):
+        a = Linear(3, 3, RNG)
+        b = Linear(3, 3, RNG)
+        b.load_state_arrays(a.state_arrays())
+        assert np.allclose(a.weight.data, b.weight.data)
+        assert np.allclose(a.bias.data, b.bias.data)
+
+    def test_state_shape_mismatch_rejected(self):
+        import pytest
+
+        a = Linear(3, 3, RNG)
+        b = Linear(3, 4, RNG)
+        with pytest.raises(ValueError):
+            b.load_state_arrays(a.state_arrays())

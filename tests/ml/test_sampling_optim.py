@@ -1,0 +1,132 @@
+"""Sampler filtering/determinism and Adam convergence."""
+
+import numpy as np
+
+from repro.ml.optim import Adam
+from repro.ml.sampling import Sampler, SamplerConfig
+from repro.ml.tensor import Tensor
+from repro.ml.transformer import GPT2Config, GPT2LMModel
+
+TINY = GPT2Config(vocab_size=11, max_seq=16, dim=16, n_layers=1, n_heads=2)
+
+
+class _FixedModel:
+    """Stub exposing a fixed next-token distribution, for filter tests."""
+
+    def __init__(self, probs):
+        self.probs = np.asarray(probs, dtype=np.float32)
+        self.config = TINY
+
+    def next_token_distribution(self, tokens):
+        return np.tile(self.probs, (tokens.shape[0], 1))
+
+
+class TestFiltering:
+    def test_top_k_keeps_k_tokens(self):
+        model = _FixedModel([0.4, 0.3, 0.2, 0.05, 0.05])
+        sampler = Sampler(model, SamplerConfig(top_k=2), seed=0)
+        filtered = sampler._filter_distribution(model.next_token_distribution(
+            np.zeros((1, 1), dtype=np.int64)))
+        assert (filtered > 0).sum() == 2
+        assert np.allclose(filtered.sum(), 1.0)
+
+    def test_top_p_nucleus(self):
+        model = _FixedModel([0.5, 0.3, 0.1, 0.05, 0.05])
+        sampler = Sampler(model, SamplerConfig(top_p=0.75), seed=0)
+        filtered = sampler._filter_distribution(model.next_token_distribution(
+            np.zeros((1, 1), dtype=np.int64)))
+        # 0.5 + 0.3 = 0.8 >= 0.75 -> keep exactly the top two.
+        assert (filtered > 0).sum() == 2
+
+    def test_top_p_always_keeps_one(self):
+        model = _FixedModel([0.9, 0.1, 0.0, 0.0, 0.0])
+        sampler = Sampler(model, SamplerConfig(top_p=0.01), seed=0)
+        filtered = sampler._filter_distribution(model.next_token_distribution(
+            np.zeros((1, 1), dtype=np.int64)))
+        assert (filtered > 0).sum() >= 1
+
+    def test_forbidden_tokens_never_sampled(self):
+        model = _FixedModel([0.5, 0.3, 0.1, 0.05, 0.05])
+        sampler = Sampler(model, SamplerConfig(forbidden_tokens=(0, 1)), seed=0)
+        out = sampler.generate(np.zeros((4, 1), dtype=np.int64), 20)
+        assert not np.isin(out[:, 1:], [0, 1]).any()
+
+    def test_forbidden_tokens_survive_dead_row_fallback(self):
+        # All mass on forbidden tokens: the fallback must stay masked.
+        model = _FixedModel([0.6, 0.4, 0.0, 0.0, 0.0])
+        sampler = Sampler(model, SamplerConfig(forbidden_tokens=(0, 1)), seed=0)
+        filtered = sampler._filter_distribution(model.next_token_distribution(
+            np.zeros((2, 1), dtype=np.int64)))
+        assert np.all(filtered[:, :2] == 0)
+        assert np.allclose(filtered.sum(axis=-1), 1.0)
+
+
+class TestGeneration:
+    def test_shapes_and_prompt_preserved(self):
+        model = GPT2LMModel(TINY, seed=0)
+        sampler = Sampler(model, seed=0)
+        prompts = np.ones((3, 4), dtype=np.int64)
+        out = sampler.generate(prompts, 5)
+        assert out.shape == (3, 9)
+        assert np.array_equal(out[:, :4], prompts)
+
+    def test_deterministic_with_seed(self):
+        model = GPT2LMModel(TINY, seed=0)
+        a = Sampler(model, seed=9).generate(np.zeros((2, 3), dtype=np.int64), 6)
+        b = Sampler(model, seed=9).generate(np.zeros((2, 3), dtype=np.int64), 6)
+        assert np.array_equal(a, b)
+
+    def test_low_temperature_is_greedy(self):
+        model = GPT2LMModel(TINY, seed=0)
+        cold = Sampler(model, SamplerConfig(temperature=1e-4), seed=1)
+        out1 = cold.generate(np.zeros((1, 2), dtype=np.int64), 4)
+        out2 = Sampler(model, SamplerConfig(temperature=1e-4), seed=2).generate(
+            np.zeros((1, 2), dtype=np.int64), 4)
+        assert np.array_equal(out1, out2)  # greedy regardless of rng
+
+    def test_rejects_1d_prompts(self):
+        import pytest
+
+        sampler = Sampler(GPT2LMModel(TINY), seed=0)
+        with pytest.raises(ValueError):
+            sampler.generate(np.zeros(3, dtype=np.int64), 2)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = Tensor.param(np.array([5.0, -3.0], dtype=np.float32))
+        optimizer = Adam([x], lr=0.1)
+        for _ in range(200):
+            loss = (x * x).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(x.data).max() < 0.05
+
+    def test_step_returns_grad_norm(self):
+        x = Tensor.param(np.array([3.0, 4.0], dtype=np.float32))
+        optimizer = Adam([x], lr=0.1, grad_clip=None)
+        (x * 1.0).sum().backward()
+        assert abs(optimizer.step() - np.sqrt(2.0)) < 1e-5
+
+    def test_grad_clip_limits_update(self):
+        x = Tensor.param(np.array([0.0], dtype=np.float32))
+        optimizer = Adam([x], lr=1.0, grad_clip=1e-6)
+        (x * 1e6).sum().backward()
+        norm = optimizer.step()
+        assert norm > 1.0          # pre-clip norm reported
+        assert abs(x.data[0]) <= 1.1  # but the step stayed bounded
+
+    def test_zero_grad(self):
+        x = Tensor.param(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([x])
+        (x * 2.0).sum().backward()
+        optimizer.zero_grad()
+        assert x.grad is None
+
+    def test_skips_params_without_grad(self):
+        x = Tensor.param(np.array([1.0], dtype=np.float32))
+        y = Tensor.param(np.array([1.0], dtype=np.float32))
+        optimizer = Adam([x, y], lr=0.1)
+        (x * 1.0).sum().backward()
+        optimizer.step()
+        assert y.data[0] == 1.0

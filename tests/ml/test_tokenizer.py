@@ -1,0 +1,101 @@
+"""Machine-language tokenizers: round-trips and degradation behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.corpus import Corpus
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.ml.tokenizer import BOS, EOS, PAD, UNK, FieldTokenizer, HalfwordTokenizer
+
+
+def small_corpus():
+    return Corpus.synthesize(10, seed=1)
+
+
+class TestHalfwordTokenizer:
+    def test_roundtrip_corpus_entries(self):
+        corpus = small_corpus()
+        tokenizer = HalfwordTokenizer().train(corpus)
+        for entry in corpus:
+            tokens = tokenizer.encode_words(entry)
+            assert tokens[0] == BOS
+            assert tokenizer.decode_tokens(tokens) == list(entry)
+
+    def test_two_tokens_per_instruction(self):
+        corpus = small_corpus()
+        tokenizer = HalfwordTokenizer().train(corpus)
+        entry = corpus[0]
+        tokens = tokenizer.encode_words(entry, add_bos=False)
+        assert len(tokens) == 2 * len(entry)
+        assert tokenizer.tokens_per_instruction == 2
+
+    def test_unseen_halfword_becomes_unk_then_invalid_word(self):
+        tokenizer = HalfwordTokenizer().train([[0x00000013]])  # just a nop
+        tokens = tokenizer.encode_words([0xDEAD0013])
+        assert UNK in tokens
+        decoded = tokenizer.decode_tokens(tokens)
+        # The unknown half decodes to 0x0000 -> the word is malformed, which
+        # the disassembler reward then penalises.
+        assert decoded[0] != 0xDEAD0013
+
+    def test_vocab_cap_respected(self):
+        corpus = small_corpus()
+        tokenizer = HalfwordTokenizer(max_vocab=50).train(corpus)
+        assert tokenizer.vocab_size <= 50
+
+    def test_eos_append(self):
+        tokenizer = HalfwordTokenizer().train([[0x13]])
+        tokens = tokenizer.encode_words([0x13], add_eos=True)
+        assert tokens[-1] == EOS
+
+    def test_odd_halfword_tail_dropped(self):
+        tokenizer = HalfwordTokenizer().train([[0x00000013]])
+        tokens = tokenizer.encode_words([0x13], add_bos=False)
+        assert tokenizer.decode_tokens(tokens[:-1]) == []
+
+    def test_specials_skipped_in_decode(self):
+        tokenizer = HalfwordTokenizer().train([[0x00000013]])
+        tokens = [PAD, BOS] + tokenizer.encode_words([0x13], add_bos=False) + [EOS]
+        assert tokenizer.decode_tokens(tokens) == [0x13]
+
+
+class TestFieldTokenizer:
+    def test_roundtrip_valid_instructions(self):
+        corpus = small_corpus()
+        tokenizer = FieldTokenizer().train(corpus)
+        words = [
+            encode("add", rd=1, rs1=2, rs2=3),
+            encode("ld", rd=5, rs1=2, imm=8),
+            encode("csrrs", rd=6, csr=0xC00, rs1=0),
+            encode("slli", rd=7, rs1=7, shamt=13),
+        ]
+        tokens = tokenizer.encode_words(words)
+        decoded = tokenizer.decode_tokens(tokens)
+        assert decoded == words
+
+    def test_four_tokens_per_instruction(self):
+        tokenizer = FieldTokenizer().train(small_corpus())
+        tokens = tokenizer.encode_words([encode("ecall")], add_bos=False)
+        assert len(tokens) == 4
+
+    def test_imm_snaps_to_nearest_known(self):
+        tokenizer = FieldTokenizer().train(small_corpus())
+        weird = encode("addi", rd=1, rs1=1, imm=1023)  # likely unseen imm
+        decoded = tokenizer.decode_tokens(tokenizer.encode_words([weird]))
+        instr = decode(decoded[0])
+        assert instr is not None and instr.mnemonic == "addi"
+
+    def test_malformed_group_decodes_to_invalid(self):
+        tokenizer = FieldTokenizer().train(small_corpus())
+        garbage = [UNK, UNK, UNK, UNK]
+        assert tokenizer.decode_tokens(garbage) == [0]
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=20, deadline=None)
+    def test_r_format_roundtrip_property(self, rd, rs1, rs2):
+        tokenizer = FieldTokenizer().train(small_corpus())
+        word = encode("xor", rd=rd, rs1=rs1, rs2=rs2)
+        assert tokenizer.decode_tokens(tokenizer.encode_words([word])) == [word]

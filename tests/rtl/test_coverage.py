@@ -1,0 +1,62 @@
+"""Condition-coverage database semantics."""
+
+import pytest
+
+from repro.rtl.coverage import ConditionCoverage
+
+
+class TestDeclaration:
+    def test_declare_returns_sequential_handles(self):
+        cov = ConditionCoverage()
+        assert cov.declare("a") == 0
+        assert cov.declare("b") == 1
+        assert cov.num_conditions == 2
+        assert cov.total_arms == 4
+
+    def test_duplicate_rejected(self):
+        cov = ConditionCoverage()
+        cov.declare("a")
+        with pytest.raises(ValueError):
+            cov.declare("a")
+
+    def test_freeze_blocks_declaration(self):
+        cov = ConditionCoverage()
+        cov.freeze()
+        with pytest.raises(RuntimeError):
+            cov.declare("late")
+
+
+class TestRecording:
+    def test_arms_indexed_false_then_true(self):
+        cov = ConditionCoverage()
+        h = cov.declare("c")
+        cov.record(h, False)
+        assert cov.run_hits == {2 * h}
+        cov.record(h, True)
+        assert cov.run_hits == {2 * h, 2 * h + 1}
+
+    def test_record_returns_value(self):
+        cov = ConditionCoverage()
+        h = cov.declare("c")
+        assert cov.record(h, 1 == 1) is True
+        assert cov.record(h, []) is False
+
+    def test_begin_run_clears_hits(self):
+        cov = ConditionCoverage()
+        h = cov.declare("c")
+        cov.record(h, True)
+        cov.begin_run()
+        assert cov.run_hits == set()
+
+    def test_arm_names(self):
+        cov = ConditionCoverage()
+        cov.declare("core.alu.zero")
+        assert cov.arm_name(0) == "core.alu.zero:F"
+        assert cov.arm_name(1) == "core.alu.zero:T"
+
+    def test_repeated_hits_idempotent(self):
+        cov = ConditionCoverage()
+        h = cov.declare("c")
+        for _ in range(5):
+            cov.record(h, True)
+        assert len(cov.run_hits) == 1

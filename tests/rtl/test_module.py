@@ -1,0 +1,101 @@
+"""Module hierarchy, clocked registers and the clock domain."""
+
+import pytest
+
+from repro.rtl.coverage import ConditionCoverage
+from repro.rtl.module import Module
+from repro.rtl.signal import Reg
+from repro.rtl.simulator import ClockDomain
+
+
+class Counter(Module):
+    """Tiny design used to exercise the framework."""
+
+    def __init__(self, path, cov):
+        super().__init__(path, cov)
+        self.count = self.reg(0)
+        self.conditions("wrap")
+
+    def evaluate(self):
+        wrapped = self.cond("wrap", self.count.value == 3)
+        self.count.next = 0 if wrapped else self.count.value + 1
+
+
+class TestReg:
+    def test_two_phase_commit(self):
+        r = Reg(0)
+        r.next = 7
+        assert r.value == 0
+        r.commit()
+        assert r.value == 7
+
+    def test_reset(self):
+        r = Reg(5)
+        r.next = 9
+        r.commit()
+        r.reset()
+        assert r.value == 5
+        assert r.next == 5
+
+
+class TestModule:
+    def test_condition_names_scoped_by_path(self):
+        cov = ConditionCoverage()
+        m = Module("top.sub", cov)
+        m.condition("busy")
+        m.cond("busy", True)
+        assert cov.arm_name(1) == "top.sub.busy:T"
+
+    def test_undeclared_condition_raises(self):
+        m = Module("m", ConditionCoverage())
+        with pytest.raises(KeyError):
+            m.cond("nope", True)
+
+    def test_child_registration_and_iteration(self):
+        cov = ConditionCoverage()
+        top = Module("top", cov)
+        child = top.child(Module("top.child", cov))
+        grand = child.child(Module("top.child.grand", cov))
+        assert list(top.iter_modules()) == [top, child, grand]
+
+    def test_reset_reaches_children(self):
+        cov = ConditionCoverage()
+        top = Module("top", cov)
+        child = top.child(Counter("top.ctr", cov))
+        child.count.next = 5
+        child.count.commit()
+        top.reset()
+        assert child.count.value == 0
+
+
+class TestClockDomain:
+    def test_tick_advances_design(self):
+        cov = ConditionCoverage()
+        ctr = Counter("ctr", cov)
+        clock = ClockDomain(ctr)
+        for _ in range(5):
+            clock.tick()
+        assert clock.cycles == 5
+        assert ctr.count.value == 1  # 0,1,2,3,wrap->0,1
+
+    def test_wrap_condition_covered_both_ways(self):
+        cov = ConditionCoverage()
+        ctr = Counter("ctr", cov)
+        clock = ClockDomain(ctr)
+        for _ in range(5):
+            clock.tick()
+        assert cov.run_hits == {0, 1}
+
+    def test_restart_resets(self):
+        cov = ConditionCoverage()
+        ctr = Counter("ctr", cov)
+        clock = ClockDomain(ctr)
+        clock.tick()
+        clock.restart()
+        assert clock.cycles == 0
+        assert ctr.count.value == 0
+
+    def test_top_without_evaluate_rejected(self):
+        clock = ClockDomain(Module("m", ConditionCoverage()))
+        with pytest.raises(TypeError):
+            clock.tick()

@@ -1,0 +1,50 @@
+"""Coverage reports and cumulative merging."""
+
+from repro.rtl.coverage import ConditionCoverage
+from repro.rtl.report import CoverageReport, CumulativeCoverage
+
+
+def make_report(hits, total_arms=10, cycles=5):
+    return CoverageReport(hits=frozenset(hits), total_arms=total_arms,
+                          cycles=cycles)
+
+
+class TestCoverageReport:
+    def test_from_coverage_snapshots_run_hits(self):
+        cov = ConditionCoverage()
+        h = cov.declare("x")
+        cov.record(h, True)
+        report = CoverageReport.from_coverage(cov, cycles=9)
+        assert report.hits == {1}
+        assert report.total_arms == 2
+        assert report.cycles == 9
+
+    def test_snapshot_is_immutable_copy(self):
+        cov = ConditionCoverage()
+        h = cov.declare("x")
+        cov.record(h, True)
+        report = CoverageReport.from_coverage(cov)
+        cov.record(h, False)
+        assert report.hits == {1}
+
+    def test_standalone_metrics(self):
+        report = make_report({0, 1, 4}, total_arms=10)
+        assert report.standalone_count == 3
+        assert report.standalone_fraction == 0.3
+
+    def test_empty_design(self):
+        assert make_report(set(), total_arms=0).standalone_fraction == 0.0
+
+
+class TestCumulativeCoverage:
+    def test_merge_counts_new_only(self):
+        cumulative = CumulativeCoverage(total_arms=10)
+        assert cumulative.merge(make_report({0, 1})) == 2
+        assert cumulative.merge(make_report({1, 2})) == 1
+        assert cumulative.merge(make_report({0, 1, 2})) == 0
+        assert cumulative.count == 3
+
+    def test_percent(self):
+        cumulative = CumulativeCoverage(total_arms=8)
+        cumulative.merge(make_report({0, 1, 2, 3}, total_arms=8))
+        assert cumulative.percent == 50.0

@@ -1,0 +1,90 @@
+"""BOOM model: architectural equivalence and its fast-saturating profile."""
+
+import pytest
+
+from repro.baselines.mutations import MutationEngine
+from repro.dataset.corpus import Corpus
+from repro.fuzzing.mismatch import compare_traces
+from repro.soc.boom import BoomCore, BoomParams
+from repro.soc.harness import DutHarness, make_boom_harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return make_boom_harness()
+
+
+class TestEquivalence:
+    def test_no_injected_bugs_on_corpus(self, harness):
+        corpus = Corpus.synthesize(20, seed=9)
+        for function in corpus:
+            dut, gold, _ = harness.run_differential(list(function))
+            assert compare_traces(dut, gold) == [], function
+
+    def test_no_divergence_on_random_streams(self, harness):
+        engine = MutationEngine(seed=21)
+        for _ in range(15):
+            dut, gold, _ = harness.run_differential(engine.random_body(20))
+            assert compare_traces(dut, gold) == []
+
+
+class TestCoverageProfile:
+    def test_arm_count(self, harness):
+        # BOOM's universe is smaller than Rocket's and saturates quickly.
+        assert harness.total_arms == 162
+
+    def test_unreachable_residue_is_small(self, harness):
+        """Only the debug-module conditions should be unreachable (~3%)."""
+        core = harness.core
+        debug_arms = {
+            2 * i + arm
+            for i, name in enumerate(core.cov.names())
+            if name.startswith("boom.dm.")
+            for arm in (0, 1)
+        }
+        assert len(debug_arms) == 4
+
+    def test_single_corpus_function_covers_majority(self, harness):
+        corpus = Corpus.synthesize(5, seed=11)
+        _, report = harness.run_dut(list(corpus[0]))
+        assert report.standalone_fraction > 0.35
+
+    def test_ras_conditions_from_call_pair(self, harness):
+        from repro.isa.encoder import encode
+
+        body = [
+            encode("jal", rd=1, imm=12),      # call forward
+            encode("addi", rd=10, rs1=10, imm=1),
+            encode("jal", rd=0, imm=12),      # skip the helper once returned
+            encode("addi", rd=11, rs1=11, imm=1),
+            encode("jalr", rd=0, rs1=1, imm=0),  # return
+        ]
+        _, report = harness.run_dut(body)
+        names = {harness.core.cov.arm_name(a) for a in report.hits}
+        assert "boom.frontend.ras_push:T" in names
+        assert "boom.frontend.ras_pop:T" in names
+
+
+class TestTiming:
+    def test_superscalar_faster_than_rocket_on_warm_loop(self):
+        from repro.isa.assembler import Assembler
+        from repro.isa.spec import DRAM_BASE
+        from repro.soc.harness import make_rocket_harness
+
+        # A hot loop of independent ALU ops: once the I$ is warm, the
+        # 2-wide BOOM retires roughly twice per cycle.
+        body = Assembler(base=DRAM_BASE).assemble("""
+            li a0, 40
+        loop:
+            addi a1, a1, 1
+            addi a2, a2, 2
+            addi a3, a3, 3
+            addi a4, a4, 4
+            addi a0, a0, -1
+            bnez a0, loop
+        """)
+        boom = make_boom_harness()
+        rocket = make_rocket_harness()
+        _, boom_report = boom.run_dut(body)
+        _, rocket_report = rocket.run_dut(body)
+        assert boom_report.cycles < rocket_report.cycles

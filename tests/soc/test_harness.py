@@ -1,0 +1,83 @@
+"""DUT harness: program image construction and differential running."""
+
+from repro.golden.simulator import GoldenSimulator
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.spec import DATA_BASE, DRAM_BASE
+from repro.soc.harness import (
+    TERMINATOR,
+    build_program,
+    make_rocket_harness,
+    preamble_words,
+)
+
+
+class TestBuildProgram:
+    def test_layout(self):
+        body = [encode("addi", rd=10, rs1=0, imm=1)]
+        program = build_program(body)
+        n_pre = len(preamble_words())
+        assert program[:n_pre] == preamble_words()
+        assert program[-1] == TERMINATOR
+        assert body[0] in program
+
+    def test_ra_points_at_terminator(self):
+        """Running just 'ret' must land on the wfi and stop cleanly."""
+        trace = GoldenSimulator().run(
+            build_program([encode("jalr", rd=0, rs1=1, imm=0)])
+        )
+        assert trace.stop_reason == "wfi"
+
+    def test_ra_correct_for_long_bodies(self):
+        body = [encode("addi", rd=0, rs1=0, imm=0)] * 700
+        trace = GoldenSimulator().run(build_program(body + [
+            encode("jalr", rd=0, rs1=1, imm=0)
+        ]))
+        assert trace.stop_reason == "wfi"
+
+    def test_empty_body(self):
+        trace = GoldenSimulator().run(build_program([]))
+        assert trace.stop_reason == "wfi"
+
+
+class TestPreambleEffects:
+    def test_pointer_registers_initialised(self):
+        trace = GoldenSimulator().run(build_program([]))
+        writes = {e.rd: e.rd_value for e in trace if e.rd is not None}
+        assert writes[2] == DATA_BASE + 0x400     # sp
+        assert writes[8] == DATA_BASE + 0x100     # s0
+        assert writes[3] == DATA_BASE             # gp
+        assert writes[4] == DATA_BASE + 0x200     # tp
+
+    def test_pointers_are_8_aligned_and_mapped(self):
+        from repro.golden.memory import SparseMemory
+
+        trace = GoldenSimulator().run(build_program([]))
+        writes = {e.rd: e.rd_value for e in trace if e.rd is not None}
+        memory = SparseMemory()
+        for reg in (2, 3, 4, 8, 9):
+            assert writes[reg] % 8 == 0, f"x{reg} misaligned"
+            assert memory.is_mapped(writes[reg], 8), f"x{reg} unmapped"
+
+
+class TestDifferentialRun:
+    def test_returns_trace_trace_report(self):
+        harness = make_rocket_harness()
+        dut, gold, report = harness.run_differential(
+            [encode("addi", rd=10, rs1=0, imm=5)]
+        )
+        assert dut.stop_reason == gold.stop_reason == "wfi"
+        assert report.total_arms == harness.total_arms
+        assert report.standalone_count > 0
+        assert report.cycles > 0
+
+    def test_coverage_resets_between_tests(self):
+        harness = make_rocket_harness()
+        _, first = harness.run_dut([encode("mul", rd=5, rs1=10, rs2=11)])
+        _, second = harness.run_dut([encode("addi", rd=5, rs1=0, imm=1)])
+        muldiv_arm = None
+        for i, name in enumerate(harness.core.cov.names()):
+            if name == "rocket.decode.is_muldiv":
+                muldiv_arm = 2 * i + 1  # true arm
+        assert muldiv_arm in first.hits
+        assert muldiv_arm not in second.hits

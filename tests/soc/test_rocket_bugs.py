@@ -1,0 +1,177 @@
+"""Each injected RocketCore behaviour (paper §V-B) must be observable with a
+targeted program on the buggy core and absent on the clean core."""
+
+import pytest
+
+from repro.analysis.bugs import classify_mismatch
+from repro.fuzzing.mismatch import compare_traces
+from repro.isa.assembler import Assembler
+from repro.isa.spec import DRAM_BASE
+from repro.soc.harness import DutHarness, preamble_words
+from repro.soc.rocket import RocketCore, RocketParams
+
+
+@pytest.fixture(scope="module")
+def buggy():
+    return DutHarness(RocketCore(RocketParams()))
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return DutHarness(RocketCore(RocketParams.clean()))
+
+
+def assemble_body(text, body_offset=2):
+    base = DRAM_BASE + 4 * (len(preamble_words()) + body_offset)
+    return Assembler(base=base).assemble(text)
+
+
+# The SMC patcher: executes the target once (filling its I$ line), patches
+# it from 'addi t2, t2, 2' to 'addi t2, t2, 1', then executes it again.
+# Without FENCE.I the buggy core serves the stale pre-patch instruction.
+SMC_BODY = """
+    auipc t1, 0
+    addi t1, t1, 36      # &target
+    lui t0, 0x138
+    addi t0, t0, 0x393   # t0 = 'addi t2, t2, 1'
+    addi t3, x0, 0
+    j target             # first pass: caches the target's line
+patch:
+    sw t0, 0(t1)
+    {barrier}
+    j target             # second pass: stale without fence.i
+target:
+    addi t2, t2, 2
+    bne t3, x0, done
+    addi t3, x0, 1
+    j patch
+done:
+"""
+
+
+class TestBug1StaleICache:
+    def test_smc_without_fencei_diverges(self, buggy):
+        body = assemble_body(SMC_BODY.format(barrier="nop"))
+        dut, gold, _ = buggy.run_differential(body)
+        mismatches = compare_traces(dut, gold)
+        assert mismatches, "expected Bug1 divergence"
+        # The DUT executed the stale pre-patch instruction word.
+        kinds = {m.kind for m in mismatches}
+        assert "instr_word" in kinds or "rd_value" in kinds
+
+    def test_smc_with_fencei_is_coherent(self, buggy):
+        body = assemble_body(SMC_BODY.format(barrier="fence.i"))
+        dut, gold, _ = buggy.run_differential(body)
+        assert compare_traces(dut, gold) == []
+
+    def test_clean_core_snoops_stores(self, clean):
+        body = assemble_body(SMC_BODY.format(barrier="nop"))
+        dut, gold, _ = clean.run_differential(body)
+        assert compare_traces(dut, gold) == []
+
+    def test_classified_as_cwe_1202(self, buggy):
+        body = assemble_body(SMC_BODY.format(barrier="nop"))
+        dut, gold, _ = buggy.run_differential(body)
+        matches = {classify_mismatch(m) for m in compare_traces(dut, gold)}
+        assert any(m is not None and m.cwe == "CWE-1202" for m in matches)
+
+
+class TestBug2TracerMulDiv:
+    BODY = """
+        li a0, 6
+        li a1, 7
+        mul a2, a0, a1
+        div a3, a2, a1
+        add a4, a2, a3
+    """
+
+    def test_muldiv_writeback_missing_from_trace(self, buggy):
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        mismatches = compare_traces(dut, gold)
+        missing = [m for m in mismatches if m.kind == "rd_missing"]
+        assert len(missing) == 2  # mul and div both suppressed
+
+    def test_architectural_state_still_correct(self, buggy):
+        """Bug2 is trace-only: the dependent add sees the right values."""
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        adds = [e for e in dut if e.rd == 14]
+        assert adds and adds[0].rd_value == 48  # 42 + 6
+
+    def test_clean_core_traces_muldiv(self, clean):
+        dut, gold, _ = clean.run_differential(assemble_body(self.BODY))
+        assert compare_traces(dut, gold) == []
+
+    def test_classified_as_cwe_440(self, buggy):
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        matches = [classify_mismatch(m) for m in compare_traces(dut, gold)]
+        assert any(m is not None and m.cwe == "CWE-440" for m in matches)
+
+
+class TestFinding1TrapPriority:
+    # Misaligned AND unmapped: golden reports misaligned, Rocket reports
+    # access fault.  t1 = 1<<31 from the preamble; doubled it is unmapped.
+    BODY = """
+        slli t1, t1, 1
+        addi t1, t1, 1
+        ld a0, 0(t1)
+    """
+
+    def test_cause_mismatch(self, buggy):
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        causes = [m for m in compare_traces(dut, gold) if m.kind == "trap_cause"]
+        assert causes, "expected a trap-cause mismatch"
+        match = classify_mismatch(causes[0])
+        assert match is not None and match.bug_id == "FINDING1"
+
+    def test_clean_core_follows_spec(self, clean):
+        dut, gold, _ = clean.run_differential(assemble_body(self.BODY))
+        assert compare_traces(dut, gold) == []
+
+    def test_misaligned_alone_agrees(self, buggy):
+        """Only the *simultaneous* case diverges; plain misaligned (mapped)
+        addresses trap identically on both."""
+        body = assemble_body("ld a0, 1(s0)")
+        dut, gold, _ = buggy.run_differential(body)
+        assert compare_traces(dut, gold) == []
+
+
+class TestFinding2AmoX0Trace:
+    BODY = "amoor.d x0, a1, (s0)"
+
+    def test_trace_shows_data_arriving_at_x0(self, buggy):
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        mismatches = compare_traces(dut, gold)
+        spurious = [m for m in mismatches if m.kind == "rd_spurious_x0"]
+        assert spurious
+        match = classify_mismatch(spurious[0])
+        assert match is not None and match.bug_id == "FINDING2"
+
+    def test_clean_core_suppresses(self, clean):
+        dut, gold, _ = clean.run_differential(assemble_body(self.BODY))
+        assert compare_traces(dut, gold) == []
+
+
+class TestFinding3X0JalrTrace:
+    # A load immediately followed by jalr x0 triggers the quirk.  Use ra,
+    # which the harness points at the terminator.
+    BODY = """
+        ld a0, 0(s0)
+        jalr x0, 0(ra)
+    """
+
+    def test_spurious_x0_write_record(self, buggy):
+        dut, gold, _ = buggy.run_differential(assemble_body(self.BODY))
+        spurious = [m for m in compare_traces(dut, gold)
+                    if m.kind == "rd_spurious_x0"]
+        assert spurious
+        match = classify_mismatch(spurious[0])
+        assert match is not None and match.bug_id == "FINDING3"
+
+    def test_requires_preceding_load(self, buggy):
+        body = assemble_body("addi a0, a0, 1\njalr x0, 0(ra)")
+        dut, gold, _ = buggy.run_differential(body)
+        assert compare_traces(dut, gold) == []
+
+    def test_clean_core_suppresses(self, clean):
+        dut, gold, _ = clean.run_differential(assemble_body(self.BODY))
+        assert compare_traces(dut, gold) == []
