@@ -1,0 +1,85 @@
+"""PERF-SAMPLING — tokens/sec of KV-cached vs uncached decoding.
+
+The fuzzer's throughput ceiling is ``Sampler.generate``; this micro-benchmark
+pins the cached fast path's advantage at the model's full context
+(max_seq=96).  Results go to ``BENCH_sampling.json`` (machine-readable
+artifact) and are appended to ``bench_results.txt`` like every other
+benchmark.  Marked ``perf`` so the tier-1 test run skips it (see the root
+``conftest.py``); run with ``pytest -m perf benchmarks/test_perf_sampling.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import REPO_ROOT, emit
+from repro.analysis.report import format_table
+from repro.ml.sampling import Sampler, SamplerConfig
+from repro.ml.transformer import GPT2Config, GPT2LMModel
+
+ARTIFACT_PATH = REPO_ROOT / "BENCH_sampling.json"
+
+#: The default model geometry at full context — the acceptance point.
+BENCH_CONFIG = GPT2Config(vocab_size=512, max_seq=96, dim=64,
+                          n_layers=2, n_heads=2)
+BATCH = 8
+PROMPT_LEN = 4
+SAMPLER_CONFIG = SamplerConfig(top_k=50)
+
+
+def _tokens_per_sec(model, use_cache: bool, n_new: int,
+                    repeats: int = 3) -> float:
+    prompts = np.arange(BATCH * PROMPT_LEN, dtype=np.int64).reshape(
+        BATCH, PROMPT_LEN
+    ) % model.config.vocab_size
+    best = float("inf")
+    for repeat in range(repeats):
+        sampler = Sampler(model, SAMPLER_CONFIG, seed=repeat,
+                          use_cache=use_cache)
+        start = time.perf_counter()
+        out = sampler.generate(prompts, n_new)
+        elapsed = time.perf_counter() - start
+        assert out.shape == (BATCH, PROMPT_LEN + n_new)
+        best = min(best, elapsed)
+    return BATCH * n_new / best
+
+
+@pytest.mark.perf
+def test_sampling_tokens_per_sec():
+    model = GPT2LMModel(BENCH_CONFIG, seed=0)
+    n_new = BENCH_CONFIG.max_seq - PROMPT_LEN
+    uncached = _tokens_per_sec(model, use_cache=False, n_new=n_new)
+    cached = _tokens_per_sec(model, use_cache=True, n_new=n_new)
+    speedup = cached / uncached
+
+    record = {
+        "benchmark": "sampling_tokens_per_sec",
+        "max_seq": BENCH_CONFIG.max_seq,
+        "batch": BATCH,
+        "prompt_len": PROMPT_LEN,
+        "n_new_tokens": n_new,
+        "dim": BENCH_CONFIG.dim,
+        "n_layers": BENCH_CONFIG.n_layers,
+        "uncached_tokens_per_sec": round(uncached, 1),
+        "cached_tokens_per_sec": round(cached, 1),
+        "speedup": round(speedup, 2),
+    }
+    ARTIFACT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    emit(format_table(
+        ["decode path", "tokens/sec", "speedup"],
+        [
+            ["uncached (full recompute)", f"{uncached:.0f}", "1.00x"],
+            ["KV-cached prefill+decode", f"{cached:.0f}", f"{speedup:.2f}x"],
+        ],
+        title=(
+            "PERF-SAMPLING: generation throughput at max_seq="
+            f"{BENCH_CONFIG.max_seq} (batch {BATCH})"
+        ),
+    ))
+    # Acceptance: the fast path must be at least 3x the uncached baseline.
+    assert speedup >= 3.0

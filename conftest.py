@@ -1,0 +1,37 @@
+"""Repository-wide pytest configuration.
+
+Registers the ``perf`` marker for performance micro-benchmarks (e.g.
+``benchmarks/test_perf_sampling.py``).  Perf benchmarks are *skipped* by
+default so the tier-1 ``pytest -x -q`` run stays fast; opt in with::
+
+    pytest -m perf benchmarks/test_perf_sampling.py
+
+or by setting ``CHATFUZZ_RUN_PERF=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance micro-benchmark; skipped unless selected with "
+        "-m perf or CHATFUZZ_RUN_PERF=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("CHATFUZZ_RUN_PERF", "").lower() in ("1", "true", "yes"):
+        return
+    if "perf" in (getattr(config.option, "markexpr", "") or ""):
+        return
+    skip = pytest.mark.skip(
+        reason="perf micro-benchmark; run with -m perf or CHATFUZZ_RUN_PERF=1"
+    )
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip)

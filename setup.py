@@ -5,6 +5,9 @@ cannot perform a PEP 660 editable install.  This shim lets
 ``pip install -e . --no-build-isolation`` (and plain ``python setup.py
 develop``) fall back to the classic egg-link mechanism.  All metadata lives
 in pyproject.toml.
+
+Pytest markers (``perf`` for throughput micro-benchmarks, skipped in the
+tier-1 run) are registered in the repository-root ``conftest.py``.
 """
 
 from setuptools import setup

@@ -10,6 +10,11 @@ Layers of the stack:
   paper's representation; and an instruction-field alternative).
 - :mod:`repro.ml.optim`, :mod:`repro.ml.sampling` — Adam and
   temperature/top-k/top-p generation.
+- :mod:`repro.ml.kvcache` — the per-layer K/V cache behind the
+  prefill/decode inference fast path.  Training forwards run on the
+  autograd engine; generation (fuzzing campaigns, PPO rollouts) runs on a
+  raw-numpy cached path that is token-identical but O(T·L) instead of
+  O(T²·L) per sequence.
 - :mod:`repro.ml.lm_training` — step 1: unsupervised language modelling.
 - :mod:`repro.ml.ppo` — TRL-style PPO with per-token KL penalty vs. a frozen
   reference model (steps 2 and 3).
@@ -19,6 +24,7 @@ Layers of the stack:
   Figure 1b.
 """
 
+from repro.ml.kvcache import KVCache
 from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
 from repro.ml.tokenizer import FieldTokenizer, HalfwordTokenizer
 from repro.ml.transformer import GPT2Config, GPT2LMModel
@@ -29,5 +35,6 @@ __all__ = [
     "GPT2Config",
     "GPT2LMModel",
     "HalfwordTokenizer",
+    "KVCache",
     "PipelineConfig",
 ]

@@ -1,18 +1,56 @@
-"""Causal multi-head self-attention (GPT-2 style, pre-LN blocks)."""
+"""Causal multi-head self-attention (GPT-2 style, pre-LN blocks).
+
+Two forward paths live side by side (see :mod:`repro.ml.kvcache`):
+
+- ``__call__`` — the training path on autograd :class:`~repro.ml.tensor.Tensor`,
+  recomputing the full (T, T) attention every call.
+- ``forward_cached`` — the inference fast path on raw numpy arrays, which
+  appends the new positions' K/V rows to a :class:`~repro.ml.kvcache.KVCache`
+  and attends only *from* the new positions against the cached history.
+
+Both paths share the same arithmetic (same softmax formulation, same mask
+values), so cached and uncached decoding agree to float32 tolerance and in
+practice produce identical tokens (see the caveat in :mod:`repro.ml.sampling`).
+"""
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
+from repro.ml.kvcache import KVCache
 from repro.ml.layers import LayerNorm, Linear, MLP, Parameterized
 from repro.ml.tensor import Tensor
 
 _NEG_INF = np.float32(-1e9)
 
 
+@functools.lru_cache(maxsize=None)
 def causal_mask(length: int) -> np.ndarray:
-    """Additive attention mask: 0 on/below the diagonal, -1e9 above."""
+    """Additive attention mask: 0 on/below the diagonal, -1e9 above.
+
+    Memoized per length (generation calls this every step otherwise); the
+    returned array is read-only — treat it as shared.
+    """
     mask = np.triu(np.full((length, length), _NEG_INF, dtype=np.float32), k=1)
+    mask.flags.writeable = False
+    return mask
+
+
+@functools.lru_cache(maxsize=None)
+def extended_causal_mask(length: int, past: int) -> np.ndarray:
+    """Causal mask for ``length`` new positions after ``past`` cached ones.
+
+    Shape (length, past + length): new position i may attend everything up
+    to global position past + i.  ``past=0`` reduces to :func:`causal_mask`.
+    Memoized and read-only, like :func:`causal_mask`.
+    """
+    if past == 0:
+        return causal_mask(length)
+    mask = np.zeros((length, past + length), dtype=np.float32)
+    mask[:, past:] = causal_mask(length)
+    mask.flags.writeable = False
     return mask
 
 
@@ -34,13 +72,41 @@ class CausalSelfAttention(Parameterized):
         qkv = qkv.reshape(batch, length, 3, self.n_heads, self.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
-        scale = 1.0 / np.sqrt(self.head_dim)
+        scale = np.float32(1.0 / np.sqrt(self.head_dim))
         scores = q.matmul(k.swap_last()) * scale  # (B, H, T, T)
         scores = scores + Tensor(causal_mask(length))
         attn = scores.log_softmax().exp()
         out = attn.matmul(v)  # (B, H, T, hd)
         out = out.transpose(0, 2, 1, 3).reshape(batch, length, dim)
         return self.proj(out)
+
+    def forward_cached(self, x: np.ndarray, cache: KVCache,
+                       layer: int) -> np.ndarray:
+        """Incremental attention: append new K/V rows, attend from them only.
+
+        ``x`` is (batch, t_new, dim) of *new* positions on top of
+        ``cache.length`` already-cached ones.  Raw numpy throughout — no
+        autograd graph.  Numerically identical to ``__call__`` restricted to
+        the new rows.
+        """
+        batch, t_new, dim = x.shape
+        qkv = self.qkv.forward_np(x)  # (B, Tn, 3D)
+        qkv = qkv.reshape(batch, t_new, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, Tn, hd)
+        q = qkv[0]
+        keys, values = cache.append(layer, qkv[1], qkv[2])  # (B, H, L+Tn, hd)
+        scale = np.float32(1.0 / np.sqrt(self.head_dim))
+        scores = (q @ np.swapaxes(keys, -1, -2)) * scale  # (B, H, Tn, L+Tn)
+        if t_new > 1:
+            scores = scores + extended_causal_mask(t_new,
+                                                   keys.shape[2] - t_new)
+        # Same formulation as Tensor.log_softmax().exp() for bit-parity.
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        attn = np.exp(shifted - log_z)
+        out = attn @ values  # (B, H, Tn, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, t_new, dim)
+        return self.proj.forward_np(out)
 
 
 class TransformerBlock(Parameterized):
@@ -56,4 +122,11 @@ class TransformerBlock(Parameterized):
     def __call__(self, x: Tensor) -> Tensor:
         x = x + self.attn(self.ln1(x))
         x = x + self.mlp(self.ln2(x))
+        return x
+
+    def forward_cached(self, x: np.ndarray, cache: KVCache,
+                       layer: int) -> np.ndarray:
+        """Graph-free block forward over new positions (inference fast path)."""
+        x = x + self.attn.forward_cached(self.ln1.forward_np(x), cache, layer)
+        x = x + self.mlp.forward_np(self.ln2.forward_np(x))
         return x

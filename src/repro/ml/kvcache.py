@@ -1,0 +1,126 @@
+"""Per-layer key/value cache for incremental (autoregressive) decoding.
+
+Generation is the hottest loop in the system: every fuzzing campaign and
+every PPO rollout samples thousands of tokens, and the naive path re-runs
+the full transformer over prompt+response for each one — O(T²·L) in
+sequence length.  The KV cache removes the redundancy: the keys and values
+of every already-processed position are stored once per attention layer, so
+a decode step only projects the *new* token(s) and attends from them
+against the cached history — O(T·L) for a whole sequence.
+
+The cache is deliberately dumb and fast:
+
+- Storage is preallocated to ``(batch, n_heads, max_seq, head_dim)`` per
+  layer at construction, so decode steps never reallocate or concatenate.
+- Everything is raw ``float32`` numpy — no autograd :class:`~repro.ml.tensor.Tensor`
+  wrapping.  Generation always runs in inference mode, so building a graph
+  would be pure overhead (see the two-path design note in
+  :mod:`repro.ml.transformer`).
+- Writes happen per layer via :meth:`KVCache.append`; the shared position
+  counter advances once per model step via :meth:`KVCache.advance` after
+  all layers have written their rows.
+
+Overflow past ``max_seq`` raises instead of rolling over: the model's
+position embedding table ends there, so silently wrapping would produce
+garbage positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KVCache:
+    """Preallocated per-layer K/V storage for one generation batch."""
+
+    __slots__ = ("max_seq", "length", "_keys", "_values")
+
+    def __init__(self, n_layers: int, batch: int, n_heads: int,
+                 max_seq: int, head_dim: int) -> None:
+        if min(n_layers, batch, n_heads, max_seq, head_dim) <= 0:
+            raise ValueError(
+                "KVCache dimensions must be positive, got "
+                f"layers={n_layers} batch={batch} heads={n_heads} "
+                f"max_seq={max_seq} head_dim={head_dim}"
+            )
+        self.max_seq = max_seq
+        #: Number of positions already decoded into the cache (shared by all
+        #: layers; bumped by :meth:`advance` once per model step).
+        self.length = 0
+        shape = (batch, n_heads, max_seq, head_dim)
+        self._keys = [np.empty(shape, dtype=np.float32) for _ in range(n_layers)]
+        self._values = [np.empty(shape, dtype=np.float32) for _ in range(n_layers)]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        return len(self._keys)
+
+    @property
+    def batch(self) -> int:
+        return self._keys[0].shape[0]
+
+    @property
+    def n_heads(self) -> int:
+        return self._keys[0].shape[1]
+
+    @property
+    def head_dim(self) -> int:
+        return self._keys[0].shape[3]
+
+    @property
+    def remaining(self) -> int:
+        """Positions still available before the cache is full."""
+        return self.max_seq - self.length
+
+    def keys(self, layer: int) -> np.ndarray:
+        """The valid key rows of ``layer``: (batch, heads, length, head_dim)."""
+        return self._keys[layer][:, :, : self.length]
+
+    def values(self, layer: int) -> np.ndarray:
+        """The valid value rows of ``layer``: (batch, heads, length, head_dim)."""
+        return self._values[layer][:, :, : self.length]
+
+    # -- the write path --------------------------------------------------------
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray):
+        """Write new K/V rows for ``layer`` and return the extended views.
+
+        ``k``/``v`` are ``(batch, n_heads, t_new, head_dim)``.  The rows are
+        written at offset :attr:`length` (which :meth:`advance` bumps once
+        per model step, after every layer has appended), and the returned
+        arrays are ``(batch, n_heads, length + t_new, head_dim)`` views over
+        the preallocated storage — no copies on the decode hot path.
+        """
+        if k.shape != v.shape:
+            raise ValueError(f"key/value shape mismatch: {k.shape} vs {v.shape}")
+        store = self._keys[layer]
+        expected = (store.shape[0], store.shape[1], k.shape[2], store.shape[3])
+        if k.shape != expected:
+            raise ValueError(f"expected K/V rows {expected}, got {k.shape}")
+        t_new = k.shape[2]
+        end = self.length + t_new
+        if end > self.max_seq:
+            raise ValueError(
+                f"KV cache overflow: {self.length} cached + {t_new} new "
+                f"exceeds max_seq {self.max_seq}"
+            )
+        store[:, :, self.length : end] = k
+        self._values[layer][:, :, self.length : end] = v
+        return store[:, :, :end], self._values[layer][:, :, :end]
+
+    def advance(self, t_new: int) -> None:
+        """Commit ``t_new`` freshly-appended positions (once per model step)."""
+        if self.length + t_new > self.max_seq:
+            raise ValueError(
+                f"KV cache overflow: cannot advance {self.length} by {t_new} "
+                f"past max_seq {self.max_seq}"
+            )
+        self.length += t_new
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KVCache(layers={self.n_layers}, batch={self.batch}, "
+            f"heads={self.n_heads}, length={self.length}/{self.max_seq})"
+        )

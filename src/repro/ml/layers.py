@@ -1,4 +1,13 @@
-"""Neural-network building blocks on the autograd engine."""
+"""Neural-network building blocks on the autograd engine.
+
+Each module has two forward paths: ``__call__`` runs on
+:class:`~repro.ml.tensor.Tensor` and records the autograd graph (training),
+while ``forward_np`` runs the *same arithmetic* on raw ``float32`` numpy
+arrays for the inference fast path (KV-cached generation, see
+:mod:`repro.ml.kvcache`).  The two must stay numerically identical — the
+decode-parity tests compare them token for token — so any change to one
+formula must be mirrored in the other.
+"""
 
 from __future__ import annotations
 
@@ -67,6 +76,10 @@ class Linear(Parameterized):
     def __call__(self, x: Tensor) -> Tensor:
         return x.matmul(self.weight) + self.bias
 
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free forward on raw arrays (inference fast path)."""
+        return x @ self.weight.data + self.bias.data
+
 
 class Embedding(Parameterized):
     """Token-index lookup table."""
@@ -91,6 +104,13 @@ class LayerNorm(Parameterized):
     def __call__(self, x: Tensor) -> Tensor:
         return x.layernorm(self.gain, self.bias)
 
+    def forward_np(self, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+        """Graph-free forward, mirroring :meth:`Tensor.layernorm` exactly."""
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        return (x - mu) * inv * self.gain.data + self.bias.data
+
 
 class MLP(Parameterized):
     """The transformer block's feed-forward: Linear -> GELU -> Linear."""
@@ -101,3 +121,14 @@ class MLP(Parameterized):
 
     def __call__(self, x: Tensor) -> Tensor:
         return self.fc_out(self.fc_in(x).gelu())
+
+    def forward_np(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free forward (inference fast path)."""
+        return self.fc_out.forward_np(gelu_np(self.fc_in.forward_np(x)))
+
+
+def gelu_np(x: np.ndarray) -> np.ndarray:
+    """GPT-2's tanh-approximated GELU, mirroring :meth:`Tensor.gelu` exactly."""
+    c = np.sqrt(2.0 / np.pi).astype(np.float32)
+    inner = c * (x + 0.044715 * x**3)
+    return 0.5 * x * (1.0 + np.tanh(inner))

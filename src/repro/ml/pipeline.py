@@ -100,6 +100,10 @@ class LLMInputGenerator:
     ``generate_batch(n)`` returns ``n`` test bodies (lists of instruction
     words): prompt instructions + the model's completion, exactly how the
     paper's fuzzer builds test vectors.
+
+    Batches are produced on the sampler's KV-cached decode fast path, so
+    campaign throughput scales linearly (not quadratically) with the test
+    body length — this is the fuzzer's hottest loop.
     """
 
     def __init__(self, model, tokenizer, corpus: Corpus,

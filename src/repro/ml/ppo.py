@@ -11,6 +11,12 @@ loss and an entropy bonus.
 The trainer reports the telemetry the paper monitors during training: "the
 PPO algorithm's loss, the Kullback-Leibler divergence between optimization
 policies, and the mean rewards assigned at each step" (§IV-C2).
+
+Rollout generation goes through :class:`~repro.ml.sampling.Sampler`, which
+uses the model's KV-cached prefill/decode fast path — each PPO step's
+sampling is O(T·L) per sequence instead of re-running the full transformer
+per token.  The gradient passes (``logits_and_values``) stay on the
+uncached autograd path, which needs every position anyway.
 """
 
 from __future__ import annotations
@@ -149,7 +155,12 @@ class PPOTrainer:
         return picked[:, -response:], values.data[:, -response:]
 
     def rollout(self, prompts: np.ndarray, n_new_tokens: int) -> RolloutBatch:
-        """Generate responses and package them with old/ref statistics."""
+        """Generate responses and package them with old/ref statistics.
+
+        Generation takes the sampler's KV-cached fast path; the old/ref
+        log-prob recomputations below need all positions at once, so they
+        use the regular (uncached) forward under ``no_grad``.
+        """
         prompts = np.asarray(prompts, dtype=np.int64)
         tokens = self.sampler.generate(prompts, n_new_tokens)
         old_logprobs, values = self._response_logprobs_values(

@@ -3,6 +3,21 @@
 Generation runs in inference mode (:func:`repro.ml.tensor.no_grad`); PPO
 recomputes log-probs with gradients afterwards on the concatenated
 prompt+response batch, as TRL does.
+
+When the model exposes the KV-cached fast path
+(:meth:`~repro.ml.transformer.GPT2LMModel.prefill` /
+:meth:`~repro.ml.transformer.GPT2LMModel.decode_step`), :meth:`Sampler.generate`
+prefills the prompt once and then takes O(1)-length decode steps into a
+preallocated token buffer — O(T·L) for a whole response instead of the
+naive O(T²·L).  Models without the fast path (e.g. test stubs exposing only
+``next_token_distribution``) fall back to the full-recompute loop.  Both
+paths draw from the RNG identically and share the same softmax/filter
+arithmetic, so they produce identical tokens for identical seeds (pinned by
+the decode-parity tests).  The residual caveat: the two paths issue
+different-shaped matmuls, so probabilities agree to float32 tolerance
+(~1e-6) rather than bit-for-bit — a uniform draw landing inside that window
+could in principle pick different tokens, though the parity tests and
+whole-campaign comparisons have not observed it.
 """
 
 from __future__ import annotations
@@ -28,17 +43,38 @@ class Sampler:
     """Batch sampler over a :class:`~repro.ml.transformer.GPT2LMModel`."""
 
     def __init__(self, model, config: SamplerConfig | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, use_cache: bool = True) -> None:
         self.model = model
         self.config = config or SamplerConfig()
         self.rng = np.random.default_rng(seed)
+        #: Allow forcing the uncached path (parity tests, baselines).
+        self.use_cache = use_cache
+        self._hoist(self.config)
+
+    def _hoist(self, config: SamplerConfig) -> None:
+        """Precompute per-step constants so the hot loop never rebuilds them.
+
+        ``SamplerConfig`` is frozen, so the snapshot stays valid as long as
+        ``self.config`` is the same object; reassigning ``sampler.config``
+        is picked up on the next step via the identity check below.
+        """
+        self._hoisted_config = config
+        self._temperature = max(config.temperature, 1e-4)
+        forbidden = np.asarray(config.forbidden_tokens, dtype=np.int64)
+        self._forbidden = forbidden if forbidden.size else None
 
     def _filter_distribution(self, probs: np.ndarray) -> np.ndarray:
         """Apply top-k / top-p filtering row-wise and renormalise."""
         config = self.config
+        if config is not self._hoisted_config:
+            self._hoist(config)
+        if (self._forbidden is None and config.top_k is None
+                and config.top_p is None):
+            # Nothing to filter: the softmax output is already normalised.
+            return probs
         filtered = probs.copy()
-        if config.forbidden_tokens:
-            filtered[:, list(config.forbidden_tokens)] = 0.0
+        if self._forbidden is not None:
+            filtered[:, self._forbidden] = 0.0
         if config.top_k is not None and config.top_k < probs.shape[-1]:
             kth = np.partition(filtered, -config.top_k, axis=-1)[
                 :, -config.top_k : -config.top_k + 1
@@ -60,17 +96,32 @@ class Sampler:
         dead = totals.squeeze(-1) <= 0
         if dead.any():
             fallback = probs[dead].copy()
-            if config.forbidden_tokens:
-                fallback[:, list(config.forbidden_tokens)] = 0.0
+            if self._forbidden is not None:
+                fallback[:, self._forbidden] = 0.0
             empty = fallback.sum(axis=-1) <= 0
             if empty.any():
                 fallback[empty] = 1.0
-                if config.forbidden_tokens:
-                    fallback[np.ix_(np.flatnonzero(empty),
-                                    list(config.forbidden_tokens))] = 0.0
+                if self._forbidden is not None:
+                    fallback[np.ix_(np.flatnonzero(empty), self._forbidden)] = 0.0
             filtered[dead] = fallback
             totals = filtered.sum(axis=-1, keepdims=True)
         return filtered / totals
+
+    def _sample_step(self, probs: np.ndarray) -> np.ndarray:
+        """Draw one token per row from a (batch, vocab) distribution."""
+        if self.config is not self._hoisted_config:
+            self._hoist(self.config)
+        temperature = self._temperature
+        if temperature != 1.0:
+            logits = np.log(probs + 1e-12) / temperature
+            logits -= logits.max(axis=-1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=-1, keepdims=True)
+        probs = self._filter_distribution(probs)
+        cumulative = np.cumsum(probs, axis=-1)
+        draws = self.rng.random((probs.shape[0], 1))
+        choice = (cumulative < draws).sum(axis=-1)
+        return np.minimum(choice, probs.shape[-1] - 1)
 
     def generate(
         self,
@@ -82,22 +133,45 @@ class Sampler:
         ``prompts`` is (batch, prompt_len); returns (batch, prompt_len +
         n_new_tokens).  All rows share a length, so no padding/attention
         masking is needed (the PPO rollout groups prompts by length).
+
+        On the KV-cached fast path every *model input* must fit in the
+        model's ``max_seq`` (the cache is the position-embedding table's
+        length); oversized requests raise ``ValueError`` up front instead
+        of failing mid-generation.  The last sampled token is never fed
+        back, so the bound is ``prompt_len + n_new_tokens - 1 <= max_seq``
+        — exactly what the uncached path enforces implicitly.
         """
         tokens = np.asarray(prompts, dtype=np.int64)
         if tokens.ndim != 2:
             raise ValueError(f"prompts must be 2-D, got {tokens.shape}")
-        temperature = max(self.config.temperature, 1e-4)
-        for _ in range(n_new_tokens):
-            probs = self.model.next_token_distribution(tokens)
-            if temperature != 1.0:
-                logits = np.log(probs + 1e-12) / temperature
-                logits -= logits.max(axis=-1, keepdims=True)
-                probs = np.exp(logits)
-                probs /= probs.sum(axis=-1, keepdims=True)
-            probs = self._filter_distribution(probs)
-            cumulative = np.cumsum(probs, axis=-1)
-            draws = self.rng.random((tokens.shape[0], 1))
-            choice = (cumulative < draws).sum(axis=-1)
-            choice = np.minimum(choice, probs.shape[-1] - 1)
-            tokens = np.concatenate([tokens, choice[:, None]], axis=1)
-        return tokens
+        batch, prompt_len = tokens.shape
+        n_new = int(n_new_tokens)
+        # One preallocated output buffer, filled in place — no per-step
+        # concatenate (which made even the cached loop O(T²) in copies).
+        out = np.empty((batch, prompt_len + max(n_new, 0)), dtype=np.int64)
+        out[:, :prompt_len] = tokens
+        if n_new <= 0 or batch == 0:
+            return out
+        if self.use_cache and hasattr(self.model, "prefill"):
+            max_seq = self.model.config.max_seq
+            # The final sampled token is never fed back, so the last model
+            # input has prompt_len + n_new - 1 positions — the same bound
+            # the uncached path enforces implicitly.
+            if prompt_len + n_new - 1 > max_seq:
+                raise ValueError(
+                    f"prompt ({prompt_len}) + response ({n_new}) exceeds "
+                    f"max_seq {max_seq}"
+                )
+            probs, cache = self.model.prefill(tokens)
+            for step in range(n_new):
+                choice = self._sample_step(probs)
+                out[:, prompt_len + step] = choice
+                if step + 1 < n_new:
+                    probs = self.model.decode_step(choice[:, None], cache)
+        else:
+            for step in range(n_new):
+                probs = self.model.next_token_distribution(
+                    out[:, : prompt_len + step]
+                )
+                out[:, prompt_len + step] = self._sample_step(probs)
+        return out

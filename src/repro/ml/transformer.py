@@ -4,6 +4,21 @@ This is the paper's "GPT2 Model" (Figure 1b): trained from scratch on machine
 language in step 1, then PPO-tuned in steps 2–3.  The value head (a scalar
 projection of the final hidden state per position) exists for PPO's critic;
 plain LM training ignores it.
+
+Two-path design
+---------------
+The model exposes two forwards with identical arithmetic:
+
+- **Training path** — :meth:`GPT2LMModel.hidden_states` / :meth:`logits` /
+  :meth:`logits_and_values` on autograd :class:`~repro.ml.tensor.Tensor`;
+  recomputes the whole sequence every call (teacher forcing needs every
+  position anyway).
+- **Inference fast path** — :meth:`GPT2LMModel.prefill` +
+  :meth:`decode_step` on raw numpy with a :class:`~repro.ml.kvcache.KVCache`:
+  prefill runs the prompt once and fills the cache; each decode step then
+  costs O(L) instead of O(T·L).  Generation always runs inside ``no_grad``,
+  so skipping the graph entirely is free.  The decode-parity tests pin the
+  two paths to token-identical outputs.
 """
 
 from __future__ import annotations
@@ -14,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.attention import TransformerBlock
+from repro.ml.kvcache import KVCache
 from repro.ml.layers import Embedding, LayerNorm, Linear, Parameterized
 from repro.ml.tensor import Tensor, no_grad
 
@@ -33,6 +49,17 @@ class GPT2Config:
     n_heads: int = 2
     mlp_ratio: int = 4
     tie_embeddings: bool = True
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Stable softmax over the last axis of a raw logits array.
+
+    Shared by the uncached ``next_token_distribution`` and the KV-cached
+    ``_decode_forward`` so the two paths cannot drift numerically.
+    """
+    row = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(row)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 class GPT2LMModel(Parameterized):
@@ -100,10 +127,73 @@ class GPT2LMModel(Parameterized):
         """Inference-mode softmax over the next token, shape (batch, vocab)."""
         with no_grad():
             logits = self.logits(tokens)
-        row = logits.data[:, -1, :]
-        row = row - row.max(axis=-1, keepdims=True)
-        exp = np.exp(row)
-        return exp / exp.sum(axis=-1, keepdims=True)
+        return _softmax_rows(logits.data[:, -1, :])
+
+    # -- KV-cached inference fast path ---------------------------------------------
+
+    def new_cache(self, batch: int) -> KVCache:
+        """An empty KV cache sized for this model and a ``batch`` of rows."""
+        return KVCache(
+            n_layers=len(self.blocks),
+            batch=batch,
+            n_heads=self.config.n_heads,
+            max_seq=self.config.max_seq,
+            head_dim=self.config.dim // self.config.n_heads,
+        )
+
+    def prefill(self, tokens: np.ndarray) -> tuple[np.ndarray, KVCache]:
+        """Run the prompt once, filling a fresh KV cache.
+
+        Returns ``(next-token probs, cache)`` — the probs are what
+        :meth:`next_token_distribution` would return for the same tokens,
+        and the cache holds every prompt position's K/V rows so subsequent
+        :meth:`decode_step` calls cost O(L) rather than O(T·L).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"expected (batch, seq) tokens, got {tokens.shape}")
+        cache = self.new_cache(tokens.shape[0])
+        return self._decode_forward(tokens, cache), cache
+
+    def decode_step(self, new_tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Extend a prefilled cache by ``new_tokens`` (batch, t_new).
+
+        Only the new positions are projected and attended *from*; the
+        returned array is the next-token distribution after the last new
+        position, shape (batch, vocab).
+        """
+        new_tokens = np.asarray(new_tokens)
+        if new_tokens.ndim != 2:
+            raise ValueError(
+                f"expected (batch, t_new) tokens, got {new_tokens.shape}"
+            )
+        if new_tokens.shape[0] != cache.batch:
+            raise ValueError(
+                f"batch mismatch: cache {cache.batch}, tokens {new_tokens.shape[0]}"
+            )
+        return self._decode_forward(new_tokens, cache)
+
+    def _decode_forward(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Shared prefill/decode body: raw numpy, no autograd graph."""
+        start = cache.length
+        length = tokens.shape[1]
+        if start + length > self.config.max_seq:
+            raise ValueError(
+                f"sequence {start + length} exceeds max_seq {self.config.max_seq}"
+            )
+        positions = np.arange(start, start + length)
+        x = self.tok_emb.weight.data[tokens] + self.pos_emb.weight.data[positions]
+        for index, block in enumerate(self.blocks):
+            x = block.forward_cached(x, cache, index)
+        cache.advance(length)
+        # Only the last position's logits matter for sampling; layernorm is
+        # per-position, so restricting to it first is exact and cheaper.
+        last_hidden = self.ln_final.forward_np(x[:, -1, :])
+        if self.lm_head is not None:
+            logits = self.lm_head.forward_np(last_hidden)
+        else:
+            logits = last_hidden @ self.tok_emb.weight.data.T
+        return _softmax_rows(logits)
 
     # -- cloning (reference models for PPO) --------------------------------------------
 

@@ -1,0 +1,194 @@
+"""KV-cached decoding: parity with the uncached path, shapes, limits."""
+
+import numpy as np
+import pytest
+
+from repro.ml.attention import causal_mask, extended_causal_mask
+from repro.ml.kvcache import KVCache
+from repro.ml.sampling import Sampler, SamplerConfig
+from repro.ml.transformer import GPT2Config, GPT2LMModel
+
+SMALL = GPT2Config(vocab_size=31, max_seq=24, dim=16, n_layers=2, n_heads=2)
+UNTIED = GPT2Config(vocab_size=31, max_seq=24, dim=16, n_layers=2, n_heads=2,
+                    tie_embeddings=False)
+
+
+def _prompts(batch=3, length=4, vocab=SMALL.vocab_size, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, vocab, size=(batch, length), dtype=np.int64)
+
+
+class TestDecodeParity:
+    """Cached and uncached generation must agree token for token."""
+
+    @pytest.mark.parametrize("config", [
+        SamplerConfig(),
+        SamplerConfig(temperature=0.7, top_k=8),
+        SamplerConfig(top_p=0.9, forbidden_tokens=(0, 1, 2)),
+    ])
+    def test_tokens_identical_under_fixed_seed(self, config):
+        model = GPT2LMModel(SMALL, seed=0)
+        prompts = _prompts()
+        cached = Sampler(model, config, seed=5).generate(prompts, 18)
+        uncached = Sampler(model, config, seed=5,
+                           use_cache=False).generate(prompts, 18)
+        assert np.array_equal(cached, uncached)
+
+    def test_tokens_identical_with_untied_head(self):
+        model = GPT2LMModel(UNTIED, seed=2)
+        prompts = _prompts(seed=3)
+        cached = Sampler(model, seed=8).generate(prompts, 16)
+        uncached = Sampler(model, seed=8, use_cache=False).generate(prompts, 16)
+        assert np.array_equal(cached, uncached)
+
+    def test_prefill_probs_match_uncached_forward(self):
+        model = GPT2LMModel(SMALL, seed=1)
+        prompts = _prompts()
+        probs, _ = model.prefill(prompts)
+        reference = model.next_token_distribution(prompts)
+        assert probs.shape == reference.shape
+        np.testing.assert_allclose(probs, reference, atol=1e-6)
+
+    def test_decode_step_matches_uncached_forward(self):
+        model = GPT2LMModel(SMALL, seed=1)
+        tokens = _prompts()
+        probs, cache = model.prefill(tokens)
+        for _ in range(5):
+            nxt = np.argmax(probs, axis=-1)
+            tokens = np.concatenate([tokens, nxt[:, None]], axis=1)
+            probs = model.decode_step(nxt[:, None], cache)
+            reference = model.next_token_distribution(tokens)
+            np.testing.assert_allclose(probs, reference, atol=1e-6)
+
+    def test_multi_token_decode_chunk_matches(self):
+        # decode_step with several new tokens exercises the rectangular
+        # extended causal mask (past > 0, t_new > 1).
+        model = GPT2LMModel(SMALL, seed=4)
+        tokens = _prompts(batch=2, length=6, seed=7)
+        _, cache = model.prefill(tokens[:, :3])
+        chunk_probs = model.decode_step(tokens[:, 3:], cache)
+        reference = model.next_token_distribution(tokens)
+        np.testing.assert_allclose(chunk_probs, reference, atol=1e-6)
+
+
+class TestKVCacheMechanics:
+    def test_prefill_shapes_and_length(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        _, cache = model.prefill(_prompts(batch=3, length=4))
+        assert cache.n_layers == SMALL.n_layers
+        assert cache.batch == 3
+        assert cache.length == 4
+        assert cache.remaining == SMALL.max_seq - 4
+        head_dim = SMALL.dim // SMALL.n_heads
+        for layer in range(cache.n_layers):
+            assert cache.keys(layer).shape == (3, SMALL.n_heads, 4, head_dim)
+            assert cache.values(layer).shape == (3, SMALL.n_heads, 4, head_dim)
+
+    def test_decode_advances_length_by_one(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        probs, cache = model.prefill(_prompts())
+        model.decode_step(np.argmax(probs, axis=-1)[:, None], cache)
+        assert cache.length == 5
+
+    def test_append_rejects_overflow_at_max_seq(self):
+        cache = KVCache(n_layers=1, batch=2, n_heads=2, max_seq=4, head_dim=3)
+        rows = np.zeros((2, 2, 4, 3), dtype=np.float32)
+        cache.append(0, rows, rows)
+        cache.advance(4)
+        assert cache.remaining == 0
+        one = np.zeros((2, 2, 1, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="overflow"):
+            cache.append(0, one, one)
+
+    def test_append_rejects_shape_mismatch(self):
+        cache = KVCache(n_layers=1, batch=2, n_heads=2, max_seq=4, head_dim=3)
+        good = np.zeros((2, 2, 1, 3), dtype=np.float32)
+        bad = np.zeros((2, 1, 1, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            cache.append(0, bad, bad)
+        with pytest.raises(ValueError):
+            cache.append(0, good, bad)
+
+    def test_advance_rejects_overflow(self):
+        cache = KVCache(n_layers=1, batch=1, n_heads=1, max_seq=2, head_dim=2)
+        with pytest.raises(ValueError, match="overflow"):
+            cache.advance(3)
+
+    def test_decode_step_rejects_batch_mismatch(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        _, cache = model.prefill(_prompts(batch=3))
+        with pytest.raises(ValueError, match="batch"):
+            model.decode_step(np.zeros((2, 1), dtype=np.int64), cache)
+
+    def test_decode_past_max_seq_raises(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        _, cache = model.prefill(
+            _prompts(batch=1, length=SMALL.max_seq)
+        )
+        with pytest.raises(ValueError, match="max_seq"):
+            model.decode_step(np.zeros((1, 1), dtype=np.int64), cache)
+
+
+class TestGenerateLimits:
+    def test_generate_rejects_sequences_exceeding_max_seq(self):
+        # The last sampled token is never fed back, so the hard limit is
+        # prompt + n_new - 1 <= max_seq (what the uncached path enforces
+        # implicitly); one past that must raise up front.
+        model = GPT2LMModel(SMALL, seed=0)
+        sampler = Sampler(model, seed=0)
+        prompts = _prompts(batch=2, length=4)
+        with pytest.raises(ValueError, match="max_seq"):
+            sampler.generate(prompts, SMALL.max_seq - 4 + 2)
+
+    def test_generate_fills_exactly_to_max_seq(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        out = Sampler(model, seed=0).generate(
+            _prompts(batch=2, length=4), SMALL.max_seq - 4
+        )
+        assert out.shape == (2, SMALL.max_seq)
+
+    def test_generate_one_past_max_seq_matches_uncached(self):
+        # prompt + n_new == max_seq + 1 worked on the uncached path (the
+        # final token is appended but never fed back); the cached path must
+        # accept it too, with identical output.
+        model = GPT2LMModel(SMALL, seed=0)
+        prompts = _prompts(batch=2, length=4)
+        n_new = SMALL.max_seq - 4 + 1
+        cached = Sampler(model, seed=3).generate(prompts, n_new)
+        uncached = Sampler(model, seed=3, use_cache=False).generate(
+            prompts, n_new
+        )
+        assert cached.shape == (2, SMALL.max_seq + 1)
+        assert np.array_equal(cached, uncached)
+
+    def test_generate_zero_new_tokens_returns_prompt(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        prompts = _prompts()
+        out = Sampler(model, seed=0).generate(prompts, 0)
+        assert np.array_equal(out, prompts)
+
+    def test_generate_empty_batch(self):
+        model = GPT2LMModel(SMALL, seed=0)
+        out = Sampler(model, seed=0).generate(
+            np.zeros((0, 4), dtype=np.int64), 3
+        )
+        assert out.shape == (0, 7)
+
+
+class TestMaskMemoization:
+    def test_causal_mask_is_cached_and_readonly(self):
+        a = causal_mask(7)
+        assert a is causal_mask(7)
+        assert not a.flags.writeable
+        assert a[0, 1] < -1e8 and a[1, 0] == 0.0
+
+    def test_extended_mask_zero_past_is_causal_mask(self):
+        assert extended_causal_mask(5, 0) is causal_mask(5)
+
+    def test_extended_mask_rectangular(self):
+        mask = extended_causal_mask(2, 3)
+        assert mask.shape == (2, 5)
+        assert (mask[:, :3] == 0.0).all()     # past: fully visible
+        assert mask[0, 4] < -1e8              # future within the new block
+        assert mask[1, 4] == 0.0
+        assert not mask.flags.writeable
