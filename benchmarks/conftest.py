@@ -12,10 +12,13 @@ paper scale.  Result tables are printed *and* appended to
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
+
+from repro.fuzzing.pool import ShardedExecutor
 
 from repro.dataset.corpus import Corpus
 from repro.ml.lm_training import LMTrainConfig, LMTrainer
@@ -42,6 +45,32 @@ def emit(table: str) -> None:
     print("\n" + table)
     with RESULTS_PATH.open("a") as fh:
         fh.write(table + "\n\n")
+
+
+def write_bench_json(filename: str, record: dict) -> Path:
+    """Write a machine-readable benchmark artifact (``BENCH_*.json``) to the
+    repository root; shared by the perf micro-benchmarks."""
+    path = REPO_ROOT / filename
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+#: Worker-pool size for campaign benches (0 = serial, the default).
+BENCH_WORKERS = int(os.environ.get("CHATFUZZ_BENCH_WORKERS", "0"))
+
+
+def bench_executor() -> ShardedExecutor | None:
+    """Executor for campaign benches per ``CHATFUZZ_BENCH_WORKERS``.
+
+    Returns None (FuzzLoop then defaults to serial in-process execution) or
+    an unbound ShardedExecutor that the loop binds to its harness factory.
+    Sharded results are order-identical to serial (see
+    ``repro.fuzzing.executor``), so the knob changes wall-clock only, never
+    the curves.
+    """
+    if BENCH_WORKERS <= 1:
+        return None
+    return ShardedExecutor(n_workers=BENCH_WORKERS)
 
 
 BENCH_PIPELINE_CONFIG = PipelineConfig(

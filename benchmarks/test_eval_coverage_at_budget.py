@@ -11,12 +11,12 @@ point) and a 4x longer budget (the long-run point), checking that the gap
 and the ordering match the paper's shape.
 """
 
-from benchmarks.conftest import emit, scaled
+from benchmarks.conftest import bench_executor, emit, scaled
 from repro.analysis.report import format_table
 from repro.baselines.thehuzz import TheHuzzGenerator
 from repro.fuzzing.campaign import Campaign
 from repro.fuzzing.chatfuzz import FuzzLoop
-from repro.soc.harness import make_rocket_harness
+from repro.soc.harness import rocket_harness_factory
 
 PAPER = {
     "short": {"ChatFuzz": 74.96, "TheHuzz": 67.4, "tests": 1800},
@@ -30,8 +30,12 @@ def _run(chatfuzz, budget_short, budget_long):
         ("ChatFuzz", chatfuzz.generator(seed=111)),
         ("TheHuzz", TheHuzzGenerator(body_instructions=24, seed=17)),
     ]:
-        loop = FuzzLoop(generator, make_rocket_harness(), batch_size=20)
-        result = Campaign(loop, name).run_tests(budget_long)
+        # CHATFUZZ_BENCH_WORKERS shards simulation over a worker pool;
+        # curves are identical to serial either way (executor parity).
+        loop = FuzzLoop(generator, rocket_harness_factory(), batch_size=20,
+                        executor=bench_executor())
+        with Campaign(loop, name) as campaign:
+            result = campaign.run_tests(budget_long)
         outcomes[name] = {
             "short": result.coverage_at_tests(budget_short),
             "long": result.final_coverage_percent,

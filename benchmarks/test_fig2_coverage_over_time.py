@@ -7,12 +7,12 @@ campaigns on the RocketCore model, maps test counts onto the paper's time
 axis with the calibrated SimClock, and prints the two series.
 """
 
-from benchmarks.conftest import emit, scaled
+from benchmarks.conftest import bench_executor, emit, scaled
 from repro.analysis.report import format_table
 from repro.baselines.thehuzz import TheHuzzGenerator
 from repro.fuzzing.campaign import Campaign
 from repro.fuzzing.chatfuzz import FuzzLoop
-from repro.soc.harness import make_rocket_harness
+from repro.soc.harness import rocket_harness_factory
 
 
 def _run_campaigns(chatfuzz, n_tests):
@@ -21,8 +21,12 @@ def _run_campaigns(chatfuzz, n_tests):
         ("ChatFuzz", chatfuzz.generator(seed=101)),
         ("TheHuzz", TheHuzzGenerator(body_instructions=24, seed=7)),
     ]:
-        loop = FuzzLoop(generator, make_rocket_harness(), batch_size=20)
-        results[name] = Campaign(loop, name).run_tests(n_tests)
+        # CHATFUZZ_BENCH_WORKERS shards simulation over a worker pool;
+        # curves are identical to serial either way (executor parity).
+        loop = FuzzLoop(generator, rocket_harness_factory(), batch_size=20,
+                        executor=bench_executor())
+        with Campaign(loop, name) as campaign:
+            results[name] = campaign.run_tests(n_tests)
     return results
 
 

@@ -10,18 +10,15 @@ benchmark.  Marked ``perf`` so the tier-1 test run skips it (see the root
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import REPO_ROOT, emit
+from benchmarks.conftest import emit, write_bench_json
 from repro.analysis.report import format_table
 from repro.ml.sampling import Sampler, SamplerConfig
 from repro.ml.transformer import GPT2Config, GPT2LMModel
-
-ARTIFACT_PATH = REPO_ROOT / "BENCH_sampling.json"
 
 #: The default model geometry at full context — the acceptance point.
 BENCH_CONFIG = GPT2Config(vocab_size=512, max_seq=96, dim=64,
@@ -68,7 +65,7 @@ def test_sampling_tokens_per_sec():
         "cached_tokens_per_sec": round(cached, 1),
         "speedup": round(speedup, 2),
     }
-    ARTIFACT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_json("BENCH_sampling.json", record)
 
     emit(format_table(
         ["decode path", "tokens/sec", "speedup"],

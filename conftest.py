@@ -1,12 +1,13 @@
 """Repository-wide pytest configuration.
 
 Registers the ``perf`` marker for performance micro-benchmarks (e.g.
-``benchmarks/test_perf_sampling.py``).  Perf benchmarks are *skipped* by
-default so the tier-1 ``pytest -x -q`` run stays fast; opt in with::
+``benchmarks/test_perf_sampling.py``, ``benchmarks/test_perf_harness.py``).
+Perf benchmarks are *skipped* by default so the tier-1 ``pytest -x -q`` run
+stays fast; opt in with any of::
 
+    pytest --runperf benchmarks/
     pytest -m perf benchmarks/test_perf_sampling.py
-
-or by setting ``CHATFUZZ_RUN_PERF=1``.
+    CHATFUZZ_RUN_PERF=1 pytest benchmarks/
 """
 
 from __future__ import annotations
@@ -16,21 +17,37 @@ import os
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runperf",
+        action="store_true",
+        default=False,
+        help="run perf-marked micro-benchmarks (default: skipped)",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "perf: performance micro-benchmark; skipped unless selected with "
-        "-m perf or CHATFUZZ_RUN_PERF=1",
+        "--runperf, -m perf or CHATFUZZ_RUN_PERF=1",
     )
 
 
-def pytest_collection_modifyitems(config, items):
+def _perf_enabled(config) -> bool:
+    if config.getoption("--runperf"):
+        return True
     if os.environ.get("CHATFUZZ_RUN_PERF", "").lower() in ("1", "true", "yes"):
-        return
-    if "perf" in (getattr(config.option, "markexpr", "") or ""):
+        return True
+    return "perf" in (getattr(config.option, "markexpr", "") or "")
+
+
+def pytest_collection_modifyitems(config, items):
+    if _perf_enabled(config):
         return
     skip = pytest.mark.skip(
-        reason="perf micro-benchmark; run with -m perf or CHATFUZZ_RUN_PERF=1"
+        reason="perf micro-benchmark; run with --runperf, -m perf or "
+        "CHATFUZZ_RUN_PERF=1"
     )
     for item in items:
         if "perf" in item.keywords:

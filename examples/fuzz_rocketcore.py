@@ -5,20 +5,34 @@ Trains a small ChatFuzz model, then races it against TheHuzz-style mutation
 fuzzing and random regression at an equal test budget, printing the
 coverage curves on the paper's simulated time axis.
 
-Run:  python examples/fuzz_rocketcore.py
+Run:  python examples/fuzz_rocketcore.py [--workers N]
+
+With ``--workers N`` each batch's differential simulation is sharded over a
+pool of N worker processes (each owning its own DUT + golden ISS); results
+are bit-identical to serial, only the wall-clock changes.  Serial wins on a
+single-core machine and for tiny batches — see ROADMAP.md.
 """
+
+import argparse
 
 from repro.analysis.report import format_table
 from repro.baselines.random_regression import RandomRegressionGenerator
 from repro.baselines.thehuzz import TheHuzzGenerator
 from repro.fuzzing.campaign import Campaign
 from repro.fuzzing.chatfuzz import FuzzLoop
+from repro.fuzzing.pool import ShardedExecutor
 from repro.ml.lm_training import LMTrainConfig
 from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
 from repro.ml.transformer import GPT2Config
-from repro.soc.harness import make_rocket_harness
+from repro.soc.harness import make_rocket_harness, rocket_harness_factory
 
-N_TESTS = 300
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="shard each batch over N worker processes "
+                         "(0 = serial, the default)")
+parser.add_argument("--tests", type=int, default=300, metavar="N",
+                    help="test budget per fuzzer")
+args = parser.parse_args()
 
 print("training ChatFuzz (three-step pipeline)...")
 pipeline = ChatFuzzPipeline(PipelineConfig(
@@ -30,20 +44,25 @@ pipeline = ChatFuzzPipeline(PipelineConfig(
 ))
 pipeline.run_all(make_rocket_harness())
 
-print(f"fuzzing RocketCore: {N_TESTS} tests per fuzzer\n")
+mode = f"{args.workers} workers" if args.workers > 1 else "serial"
+print(f"fuzzing RocketCore: {args.tests} tests per fuzzer ({mode})\n")
 results = {}
 for name, generator in [
     ("ChatFuzz", pipeline.make_generator(seed=11)),
     ("TheHuzz", TheHuzzGenerator(body_instructions=24, seed=1)),
     ("random", RandomRegressionGenerator(body_instructions=24, seed=2)),
 ]:
-    loop = FuzzLoop(generator, make_rocket_harness(), batch_size=20)
-    results[name] = Campaign(loop, name).run_tests(N_TESTS)
+    executor = (ShardedExecutor(n_workers=args.workers)
+                if args.workers > 1 else None)
+    loop = FuzzLoop(generator, rocket_harness_factory(), batch_size=20,
+                    executor=executor)
+    with Campaign(loop, name) as campaign:
+        results[name] = campaign.run_tests(args.tests)
     print(" ", results[name].summary())
 
 rows = []
 for fraction in (0.2, 0.5, 1.0):
-    at = int(N_TESTS * fraction)
+    at = int(args.tests * fraction)
     sim_hours = results["ChatFuzz"].curve[-1].sim_hours * fraction
     rows.append([at, f"{sim_hours:.2f}"] + [
         f"{results[name].coverage_at_tests(at):.1f}"

@@ -8,22 +8,37 @@
   maps test counts to the paper's time axis (DESIGN.md §1).
 - :class:`~repro.fuzzing.campaign.Campaign` — drives a fuzzer to a
   test-count / sim-time / coverage target and records the coverage curve.
+- :class:`~repro.fuzzing.executor.HarnessExecutor` — injectable execution
+  strategy for the differential step: in-process
+  :class:`~repro.fuzzing.executor.SerialExecutor` (default) or the
+  process-pool :class:`~repro.fuzzing.pool.ShardedExecutor`.
 """
 
 from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
 from repro.fuzzing.chatfuzz import FuzzLoop
+from repro.fuzzing.executor import (
+    DifferentialResult,
+    HarnessExecutor,
+    SerialExecutor,
+)
 from repro.fuzzing.input import TestInput
 from repro.fuzzing.mismatch import Mismatch, MismatchDetector, counter_csr_filter
+from repro.fuzzing.pool import ShardedExecutor, default_workers
 from repro.fuzzing.simclock import SimClock
 
 __all__ = [
     "Campaign",
     "CampaignResult",
     "CurvePoint",
+    "DifferentialResult",
     "FuzzLoop",
+    "HarnessExecutor",
     "Mismatch",
     "MismatchDetector",
+    "SerialExecutor",
+    "ShardedExecutor",
     "SimClock",
     "TestInput",
     "counter_csr_filter",
+    "default_workers",
 ]

@@ -58,11 +58,29 @@ class CampaignResult:
 
 
 class Campaign:
-    """Runs a :class:`FuzzLoop` until a test/time/coverage budget is hit."""
+    """Runs a :class:`FuzzLoop` until a test/time/coverage budget is hit.
+
+    Usable as a context manager, which closes the loop's executor on exit —
+    relevant when the loop runs on a worker pool
+    (:class:`~repro.fuzzing.pool.ShardedExecutor`)::
+
+        with Campaign(FuzzLoop(gen, factory, executor=exec_), "c") as camp:
+            result = camp.run_tests(1000)
+    """
 
     def __init__(self, loop: FuzzLoop, name: str = "campaign") -> None:
         self.loop = loop
         self.name = name
+
+    def close(self) -> None:
+        """Release the loop's executor resources."""
+        self.loop.close()
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _snapshot(self, result: CampaignResult) -> None:
         result.curve.append(CurvePoint(
@@ -82,6 +100,10 @@ class Campaign:
     def run_tests(self, n_tests: int) -> CampaignResult:
         """Run until at least ``n_tests`` tests have executed."""
         result = CampaignResult(name=self.name)
+        # Charge elaboration up front (as run_sim_hours always has) so the
+        # sim_hours epoch of every CurvePoint — including the initial
+        # snapshot — is consistent across all three entry points.
+        self.loop.clock.start()
         self._snapshot(result)
         while self.loop.tests_run < n_tests:
             self.loop.run_batch()
@@ -103,6 +125,7 @@ class Campaign:
     def run_to_coverage(self, percent: float, max_tests: int) -> CampaignResult:
         """Run until total coverage reaches ``percent`` (or the test cap)."""
         result = CampaignResult(name=self.name)
+        self.loop.clock.start()  # consistent epoch; see run_tests
         self._snapshot(result)
         while (
             self.loop.total_percent < percent

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.coverage.calculator import CoverageCalculator, InputCoverage
 from repro.coverage.scoring import CoverageScorer
+from repro.fuzzing.executor import HarnessExecutor, SerialExecutor
 from repro.fuzzing.input import TestInput
 from repro.fuzzing.mismatch import MismatchDetector, counter_csr_filter
 from repro.fuzzing.simclock import SimClock
@@ -47,33 +48,66 @@ class FuzzLoop:
         Object with ``generate_batch(n) -> list[list[int]]`` and optionally
         ``observe(inputs, coverages, scores)`` for feedback-driven fuzzers.
     harness:
-        A :class:`~repro.soc.harness.DutHarness`.
+        A :class:`~repro.soc.harness.DutHarness`, or a zero-arg factory for
+        one (e.g. :class:`~repro.soc.harness.HarnessFactory`).  Factories are
+        what parallel executors need — each worker process builds its own
+        harness from the pickled factory.
     batch_size:
         Tests per generation batch (the paper's batch granularity drives
         incremental-coverage baselines).
     use_default_filters:
         Install the counter-CSR false-positive filter (paper §IV-A).
+    executor:
+        Execution strategy for the differential step
+        (:class:`~repro.fuzzing.executor.HarnessExecutor`).  Defaults to
+        :class:`~repro.fuzzing.executor.SerialExecutor`; pass
+        ``ShardedExecutor(n_workers=...)`` to spread each batch over a
+        process pool.  An executor constructed without a factory is bound to
+        ``harness`` here, so ``FuzzLoop(gen, factory,
+        executor=ShardedExecutor(n_workers=4))`` just works.  Whatever the
+        strategy, per-test results reach the calculator, detector and
+        generator feedback in submission order, identical to serial.
     """
 
     def __init__(
         self,
         generator,
-        harness,
+        harness=None,
         batch_size: int = 16,
         clock: SimClock | None = None,
         use_default_filters: bool = True,
         scorer: CoverageScorer | None = None,
+        executor: HarnessExecutor | None = None,
     ) -> None:
         self.generator = generator
-        self.harness = harness
+        if executor is None:
+            executor = SerialExecutor(harness)
+        elif harness is not None:
+            executor.bind(harness)
+        self.executor = executor
         self.batch_size = batch_size
         self.clock = clock or SimClock()
-        self.calculator = CoverageCalculator(harness.total_arms, batch_mode=True)
+        self.calculator = CoverageCalculator(executor.total_arms, batch_mode=True)
         self.scorer = scorer or CoverageScorer()
         self.detector = MismatchDetector(
             filters=[counter_csr_filter] if use_default_filters else []
         )
         self.tests_run = 0
+
+    @property
+    def harness(self):
+        """The in-process harness, when the executor owns one (serial path)."""
+        return getattr(self.executor, "harness", None)
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, for pooled runs)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FuzzLoop":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- one batch ------------------------------------------------------------
 
@@ -83,17 +117,20 @@ class FuzzLoop:
             body if isinstance(body, TestInput) else TestInput(list(body))
             for body in bodies
         ]
+        # Simulate the whole batch first (possibly sharded over workers) and
+        # only then fold results into campaign state, so a failed batch
+        # leaves tests_run / coverage / mismatch accounting untouched.
+        results = self.executor.run_batch([test.words for test in inputs])
         self.calculator.begin_batch()
         coverages: list[InputCoverage] = []
         reports = []
         mismatches = 0
-        for test in inputs:
-            dut_trace, gold_trace, report = self.harness.run_differential(
-                test.words
+        for res in results:
+            mismatches += len(
+                self.detector.observe(res.dut_trace, res.golden_trace)
             )
-            mismatches += len(self.detector.observe(dut_trace, gold_trace))
-            coverages.append(self.calculator.observe(report))
-            reports.append(report)
+            coverages.append(self.calculator.observe(res.report))
+            reports.append(res.report)
         self.clock.charge_tests(len(inputs))
         self.tests_run += len(inputs)
         scores = self.scorer.score_batch(coverages)

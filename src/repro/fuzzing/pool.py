@@ -1,0 +1,164 @@
+"""Sharded harness execution across a pool of worker processes.
+
+Each worker owns one process-local :class:`~repro.soc.harness.DutHarness`
+(DUT core + golden ISS), built **once** by the pool initializer from a
+pickled factory — construction cost (condition-coverage elaboration) is paid
+per worker, not per test.  Batches are split into contiguous chunks, chunks
+are simulated concurrently, and the parent stitches the chunk results back
+together in submission order, so downstream consumers cannot tell the
+difference from serial execution (see ``repro.fuzzing.executor``).
+
+Design notes
+------------
+- The factory must be a picklable zero-arg callable, e.g.
+  :class:`~repro.soc.harness.HarnessFactory`; live harness objects are
+  rejected because shipping one per task would swamp the IPC channel and
+  resurrect the per-test construction cost this module exists to remove.
+- Workers are reused across batches: the pool spins up lazily on the first
+  ``run_batch`` and lives until :meth:`ShardedExecutor.close`.
+- A worker raising mid-chunk fails only that batch: remaining chunk futures
+  are cancelled, the original exception propagates to the caller, and the
+  pool stays usable for the next batch.  A worker *dying* (hard crash)
+  surfaces as ``BrokenProcessPool``; the executor must then be closed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.fuzzing.executor import DifferentialResult, HarnessExecutor
+
+#: Process-local harness, installed by :func:`_init_worker` in each worker.
+_WORKER_HARNESS = None
+
+
+def _init_worker(factory) -> None:
+    global _WORKER_HARNESS
+    _WORKER_HARNESS = factory()
+
+
+def _run_chunk(bodies: list[list[int]]) -> list[DifferentialResult]:
+    """Worker-side task: differentially simulate one contiguous chunk."""
+    harness = _WORKER_HARNESS
+    return [DifferentialResult(*harness.run_differential(body))
+            for body in bodies]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (physical parallelism)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class PoolStats:
+    """Lifetime accounting for one :class:`ShardedExecutor`."""
+
+    batches: int = 0
+    tests: int = 0
+    chunks: int = 0
+
+
+class ShardedExecutor(HarnessExecutor):
+    """Process-pool harness executor (see module docstring).
+
+    Parameters
+    ----------
+    harness_factory:
+        Picklable zero-arg callable building a ``DutHarness``
+        (:class:`~repro.soc.harness.HarnessFactory` is the canonical one).
+        May be omitted and supplied later through ``bind`` — which is what
+        ``FuzzLoop(generator, factory, executor=ShardedExecutor(n_workers=4))``
+        does.
+    n_workers:
+        Pool size.  Defaults to the machine's CPU count.
+    chunk_size:
+        Bodies per worker task.  Defaults to an even split of the batch over
+        the workers (one task per worker), which minimises IPC; set it lower
+        to improve load balance when per-test simulation cost is very skewed.
+    """
+
+    def __init__(self, harness_factory=None, n_workers: int | None = None,
+                 chunk_size: int | None = None) -> None:
+        if harness_factory is not None and not callable(harness_factory):
+            raise TypeError(
+                "ShardedExecutor needs a picklable zero-arg factory (e.g. "
+                "repro.soc.harness.HarnessFactory), not a live harness; "
+                "workers build their own harness from it"
+            )
+        super().__init__(harness_factory)
+        self.n_workers = n_workers if n_workers is not None else default_workers()
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        self.chunk_size = chunk_size
+        self.stats = PoolStats()
+        self._pool: ProcessPoolExecutor | None = None
+        self._total_arms: int | None = None
+        self._closed = False
+
+    def bind(self, harness_or_factory) -> "ShardedExecutor":
+        if self._factory is None and not callable(harness_or_factory):
+            raise TypeError(
+                "ShardedExecutor cannot adopt a live harness; bind a "
+                "picklable zero-arg factory instead"
+            )
+        super().bind(harness_or_factory)
+        return self
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("ShardedExecutor is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self._require_factory(),),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- interface -------------------------------------------------------------
+
+    @property
+    def total_arms(self) -> int:
+        if self._total_arms is None:
+            # One throwaway parent-side harness for the static metadata; only
+            # the int is kept — per-test simulation happens in the workers.
+            self._total_arms = self._require_factory()().total_arms
+        return self._total_arms
+
+    def _chunks(self, bodies: list[list[int]]) -> list[list[list[int]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(bodies) // self.n_workers))  # ceil division
+        return [bodies[i:i + size] for i in range(0, len(bodies), size)]
+
+    def run_batch(self, bodies: list[list[int]]) -> list[DifferentialResult]:
+        if not bodies:
+            return []
+        pool = self._ensure_pool()
+        chunks = self._chunks(bodies)
+        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        results: list[DifferentialResult] = []
+        try:
+            # Gather in submission order: chunks are contiguous slices, so
+            # concatenating their results reconstructs the batch order even
+            # though the chunks *executed* concurrently.
+            for future in futures:
+                results.extend(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        self.stats.batches += 1
+        self.stats.tests += len(bodies)
+        self.stats.chunks += len(chunks)
+        return results

@@ -187,5 +187,13 @@ class SetAssocCache(Module):
     def reset(self) -> None:
         super().reset()
         self.invalidate_all()
+        # Also clear per-line LRU stamps: invalidate_all (the FENCE.I path)
+        # deliberately keeps them, but a *reset* must leave no trace of the
+        # previous program — way allocation would otherwise depend on the
+        # last test's access pattern, breaking run-to-run determinism (and
+        # with it serial/sharded executor parity).
+        for ways in self.lines:
+            for line in ways:
+                line.lru = 0
         self._lru_clock = 0
         self.last_evicted = None

@@ -10,6 +10,9 @@ image runs on both simulators, so the preamble can never cause a mismatch.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
+
 from repro.golden.simulator import GoldenSimulator, SimConfig
 from repro.golden.trace import CommitTrace
 from repro.isa.encoder import encode
@@ -17,16 +20,10 @@ from repro.isa.spec import DRAM_BASE
 from repro.rtl.report import CoverageReport
 
 
-def preamble_words() -> list[int]:
-    """Register-initialisation preamble (position: start of the image).
-
-    Uses ``auipc``-relative addressing so it works regardless of the sign
-    of the load address.  After it runs::
-
-        sp = base + 0x80400    s0 = base + 0x80100    gp = base + 0x80000
-        tp = base + 0x80200    a0..a2, t0..t2 = small mixed constants
-    """
-    return [
+@lru_cache(maxsize=1)
+def _preamble_cached() -> tuple[int, ...]:
+    """Encoded preamble — fixed, so encoded once per process."""
+    return (
         encode("auipc", rd=2, imm=0x80),        # sp = pc + 0x80000
         encode("addi", rd=2, rs1=2, imm=0x400),
         encode("auipc", rd=8, imm=0x80),        # s0 = pc+8 + 0x80000
@@ -43,10 +40,39 @@ def preamble_words() -> list[int]:
         encode("slli", rd=6, rs1=6, shamt=31),  # t1 = 1 << 31
         encode("addi", rd=7, rs1=0, imm=0),     # t2 = 0
         encode("addi", rd=9, rs1=2, imm=64),    # s1 = sp + 64
-    ]
+    )
+
+
+def preamble_words() -> list[int]:
+    """Register-initialisation preamble (position: start of the image).
+
+    Uses ``auipc``-relative addressing so it works regardless of the sign
+    of the load address.  After it runs::
+
+        sp = base + 0x80400    s0 = base + 0x80100    gp = base + 0x80000
+        tp = base + 0x80200    a0..a2, t0..t2 = small mixed constants
+    """
+    return list(_preamble_cached())
 
 
 TERMINATOR = encode("wfi")
+
+
+@lru_cache(maxsize=8192)
+def _ra_setup_cached(body_len: int) -> tuple[int, ...]:
+    """``ra``-initialisation chain — depends only on the body length.
+
+    ra = pc_of_auipc + offset  ->  address of the wfi terminator.  The
+    offset depends on how many addi instructions the chain itself needs.
+    """
+    n_addi = 1
+    while 4 * (1 + n_addi + body_len) - 2044 * (n_addi - 1) > 2047:
+        n_addi += 1
+    total = 4 * (1 + n_addi + body_len)
+    ra_setup = [encode("auipc", rd=1, imm=0)]
+    ra_setup += [encode("addi", rd=1, rs1=1, imm=2044)] * (n_addi - 1)
+    ra_setup.append(encode("addi", rd=1, rs1=1, imm=total - 2044 * (n_addi - 1)))
+    return tuple(ra_setup)
 
 
 def build_program(body: list[int]) -> list[int]:
@@ -54,19 +80,12 @@ def build_program(body: list[int]) -> list[int]:
 
     ``ra`` is pointed at the terminating ``wfi`` so that generated code
     ending in ``ret`` (every corpus-shaped function does) terminates the test
-    cleanly instead of escaping to address 0.
+    cleanly instead of escaping to address 0.  The fixed parts (preamble,
+    per-length ra chain) are memoized — the harness builds one image per
+    test, so re-encoding them dominated image construction.
     """
-    fixed = preamble_words()
-    # ra = pc_of_auipc + offset  ->  address of the wfi terminator.  The
-    # offset depends on how many addi instructions the chain itself needs.
-    n_addi = 1
-    while 4 * (1 + n_addi + len(body)) - 2044 * (n_addi - 1) > 2047:
-        n_addi += 1
-    total = 4 * (1 + n_addi + len(body))
-    ra_setup = [encode("auipc", rd=1, imm=0)]
-    ra_setup += [encode("addi", rd=1, rs1=1, imm=2044)] * (n_addi - 1)
-    ra_setup.append(encode("addi", rd=1, rs1=1, imm=total - 2044 * (n_addi - 1)))
-    return fixed + ra_setup + list(body) + [TERMINATOR]
+    return [*_preamble_cached(), *_ra_setup_cached(len(body)),
+            *body, TERMINATOR]
 
 
 class DutHarness:
@@ -84,6 +103,7 @@ class DutHarness:
 
     def __init__(self, core, max_steps: int = 4096) -> None:
         self.core = core
+        self.max_steps = max_steps
         self.golden = GoldenSimulator(SimConfig(max_steps=max_steps))
 
     @property
@@ -120,3 +140,36 @@ def make_boom_harness(params=None) -> DutHarness:
 
     core_params = params or BoomParams()
     return DutHarness(BoomCore(core_params), max_steps=core_params.max_steps)
+
+
+@dataclass(frozen=True)
+class HarnessFactory:
+    """Picklable recipe for building a :class:`DutHarness`.
+
+    Executors that shard simulation across processes
+    (:class:`~repro.fuzzing.pool.ShardedExecutor`) ship this to each worker,
+    which builds its own harness once from it — the params dataclasses
+    pickle cheaply, while a live harness (core + caches + coverage database)
+    would not.  Calling the factory builds a fresh, independent harness, so
+    it also serves as the harness argument to ``FuzzLoop``.
+    """
+
+    kind: str = "rocket"
+    params: object = None
+
+    def __call__(self) -> DutHarness:
+        if self.kind == "rocket":
+            return make_rocket_harness(self.params)
+        if self.kind == "boom":
+            return make_boom_harness(self.params)
+        raise ValueError(f"unknown harness kind: {self.kind!r}")
+
+
+def rocket_harness_factory(params=None) -> HarnessFactory:
+    """Picklable factory for :func:`make_rocket_harness`."""
+    return HarnessFactory("rocket", params)
+
+
+def boom_harness_factory(params=None) -> HarnessFactory:
+    """Picklable factory for :func:`make_boom_harness`."""
+    return HarnessFactory("boom", params)

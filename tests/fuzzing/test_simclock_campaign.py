@@ -64,6 +64,31 @@ class TestCampaign:
         result = Campaign(loop, "t").run_to_coverage(10.0, max_tests=64)
         assert result.final_coverage_percent >= 10.0
 
+    def test_consistent_sim_hours_epoch_across_entry_points(self):
+        """All three drivers charge elaboration before the first snapshot.
+
+        run_sim_hours always did; run_tests and run_to_coverage used to
+        snapshot at 0.0 sim-hours and only charge elaboration with the first
+        batch, so CurvePoint time axes disagreed between entry points.
+        """
+        def fresh_loop():
+            return FuzzLoop(
+                RandomRegressionGenerator(body_instructions=8, seed=1),
+                make_rocket_harness(),
+                batch_size=8,
+            )
+
+        results = [
+            Campaign(fresh_loop(), "a").run_tests(8),
+            Campaign(fresh_loop(), "b").run_sim_hours(0.66, max_tests=8),
+            Campaign(fresh_loop(), "c").run_to_coverage(1.0, max_tests=8),
+        ]
+        elab_hours = SimClock().elab_seconds / 3600.0
+        for result in results:
+            assert result.curve[0].sim_hours == pytest.approx(elab_hours)
+        # Equal test counts => equal elapsed time, whatever the entry point.
+        assert len({result.curve[1].sim_hours for result in results}) == 1
+
     def test_coverage_at_tests_lookup(self):
         result = CampaignResult(name="x", curve=[
             CurvePoint(0, 0.0, 0.0),

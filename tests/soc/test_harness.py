@@ -40,6 +40,41 @@ class TestBuildProgram:
         assert trace.stop_reason == "wfi"
 
 
+class TestBuildProgramMemoization:
+    """The cached preamble/ra-setup must emit byte-identical images."""
+
+    @staticmethod
+    def _reference_image(body):
+        """Original (uncached) construction: re-encode everything per call."""
+        fixed = preamble_words()
+        n_addi = 1
+        while 4 * (1 + n_addi + len(body)) - 2044 * (n_addi - 1) > 2047:
+            n_addi += 1
+        total = 4 * (1 + n_addi + len(body))
+        ra_setup = [encode("auipc", rd=1, imm=0)]
+        ra_setup += [encode("addi", rd=1, rs1=1, imm=2044)] * (n_addi - 1)
+        ra_setup.append(
+            encode("addi", rd=1, rs1=1, imm=total - 2044 * (n_addi - 1))
+        )
+        return fixed + ra_setup + list(body) + [TERMINATOR]
+
+    def test_image_unchanged_across_lengths(self):
+        nop = encode("addi", rd=0, rs1=0, imm=0)
+        # 509/510/511 straddle the n_addi=1 -> 2 chain-length boundary.
+        for length in (0, 1, 24, 509, 510, 511, 700, 1200):
+            body = [nop] * length
+            assert build_program(body) == self._reference_image(body), length
+
+    def test_fresh_lists_returned(self):
+        """Callers may mutate the returned image without corrupting caches."""
+        first = build_program([])
+        first[0] = 0
+        assert build_program([])[0] != 0
+        preamble = preamble_words()
+        preamble[0] = 0
+        assert preamble_words()[0] != 0
+
+
 class TestPreambleEffects:
     def test_pointer_registers_initialised(self):
         trace = GoldenSimulator().run(build_program([]))
