@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -47,11 +48,43 @@ def emit(table: str) -> None:
         fh.write(table + "\n\n")
 
 
-def write_bench_json(filename: str, record: dict) -> Path:
+#: One line per BENCH_*.json written this session, for the terminal summary.
+_BENCH_SUMMARY: list[str] = []
+
+
+def machine_context() -> dict:
+    """The host facts every benchmark artifact should carry, uniformly."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def write_bench_json(filename: str, record: dict,
+                     headline: str | None = None) -> Path:
     """Write a machine-readable benchmark artifact (``BENCH_*.json``) to the
-    repository root; shared by the perf micro-benchmarks."""
+    repository root; shared by the perf micro-benchmarks.
+
+    Every record is stamped with the host's :func:`machine_context` so
+    numbers from different machines are comparable, and registered for the
+    one-line-per-benchmark table printed at the end of ``--runperf`` runs
+    (``headline`` is that line's free-text result summary).
+    """
+    record = dict(record)
+    record.setdefault("machine", machine_context())
+    if headline is not None:
+        record.setdefault("headline", headline)
     path = REPO_ROOT / filename
     path.write_text(json.dumps(record, indent=2) + "\n")
+    name = record.get("benchmark", filename)
+    _BENCH_SUMMARY.append(
+        f"{filename:<24} {name:<28} {record.get('headline', '')}".rstrip()
+    )
+    # The one-line-per-artifact table is printed at session end by the root
+    # conftest's pytest_terminal_summary (this module is imported by the
+    # benchmarks as a plain module, not as pytest's conftest plugin, so the
+    # hook cannot live here).
     return path
 
 

@@ -65,7 +65,10 @@ def test_sampling_tokens_per_sec():
         "cached_tokens_per_sec": round(cached, 1),
         "speedup": round(speedup, 2),
     }
-    write_bench_json("BENCH_sampling.json", record)
+    write_bench_json(
+        "BENCH_sampling.json", record,
+        headline=f"KV-cached decode {speedup:.2f}x ({cached:.0f} tok/s)",
+    )
 
     emit(format_table(
         ["decode path", "tokens/sec", "speedup"],

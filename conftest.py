@@ -52,3 +52,21 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "perf" in item.keywords:
             item.add_marker(skip)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """After a perf run: one line per benchmark artifact written.
+
+    The registry lives in ``benchmarks.conftest`` (the module the
+    benchmarks import ``write_bench_json`` from); it is only populated when
+    perf benchmarks actually ran.
+    """
+    import sys
+
+    bench_conftest = sys.modules.get("benchmarks.conftest")
+    lines = getattr(bench_conftest, "_BENCH_SUMMARY", None)
+    if not lines:
+        return
+    terminalreporter.section("benchmark artifacts")
+    for line in lines:
+        terminalreporter.write_line(line)

@@ -42,8 +42,7 @@ for point in result.curve[:: max(1, len(result.curve) // 8)]:
 
 cov = harness.core.cov
 missed = sorted(
-    cov.arm_name(arm)
-    for arm in set(range(cov.total_arms)) - loop.calculator.cumulative.hits
+    cov.arm_name(arm) for arm in loop.calculator.cumulative.missing()
 )
 print(f"\nuncovered arms ({len(missed)}):")
 for name in missed:

@@ -11,6 +11,7 @@ coverage grows more slowly — the paper quotes TheHuzz as ~3.33x faster.
 from __future__ import annotations
 
 from repro.baselines.thehuzz import TheHuzzGenerator
+from repro.rtl.bitset import mask_of
 
 
 #: Condition-name prefixes that count as "control-register" coverage.
@@ -30,6 +31,9 @@ class DifuzzRTLGenerator(TheHuzzGenerator):
                  **kwargs) -> None:
         super().__init__(**kwargs)
         self.control_arm_indices = control_arm_indices or frozenset()
+        #: The control subset as a packed bitmap — the feedback projection
+        #: becomes one AND against each report's packed hits.
+        self._control_mask = mask_of(self.control_arm_indices)
 
     @classmethod
     def for_core(cls, core, **kwargs) -> "DifuzzRTLGenerator":
@@ -41,11 +45,11 @@ class DifuzzRTLGenerator(TheHuzzGenerator):
                 arms.add(2 * handle + 1)
         return cls(control_arm_indices=frozenset(arms), **kwargs)
 
-    def _visible_hits(self, report) -> set[int]:
+    def _visible_bits(self, report) -> int:
         """Only control-register cover points are visible to the feedback:
         the coarser projection means fewer inputs look interesting, so the
         pool accumulates less of the design's structure — DifuzzRTL's
         handicap relative to TheHuzz."""
-        if not self.control_arm_indices:
-            return set(report.hits)
-        return set(report.hits) & self.control_arm_indices
+        if not self._control_mask:
+            return report.hits.to_int()
+        return report.hits.to_int() & self._control_mask

@@ -49,14 +49,15 @@ class TheHuzzGenerator:
         #: Interesting-input pool, AFL-style: inputs that found new coverage.
         self.pool: list[list[int]] = []
         self._next_parent = 0
-        #: Arms this fuzzer's feedback channel has seen (admission novelty).
-        self._seen: set[int] = set()
+        #: Packed bitmap of arms this fuzzer's feedback channel has seen
+        #: (admission novelty).
+        self._seen = 0
 
     # -- feedback channel (subclasses narrow it; see DifuzzRTL) -----------------
 
-    def _visible_hits(self, report) -> set[int]:
-        """The cover-point subset this fuzzer's feedback channel observes."""
-        return set(report.hits)
+    def _visible_bits(self, report) -> int:
+        """Packed bitmap of the cover points this feedback channel observes."""
+        return report.hits.to_int()
 
     # -- generation -----------------------------------------------------------
 
@@ -92,7 +93,7 @@ class TheHuzzGenerator:
                     self.pool.append(list(test.words))
         else:
             for test, report in zip(inputs, reports):
-                new = self._visible_hits(report) - self._seen
+                new = self._visible_bits(report) & ~self._seen
                 if new:
                     self._seen |= new
                     self.pool.append(list(test.words))

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.fuzzing.chatfuzz import FuzzLoop
+from repro.rtl.bitset import Bitset
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,9 @@ class CampaignResult:
     final_coverage_percent: float = 0.0
     raw_mismatches: int = 0
     unique_mismatches: int = 0
+    #: Packed bitmap of every arm the campaign covered — lets campaign
+    #: results be unioned (multi-campaign sharding) without re-simulating.
+    final_coverage: Bitset = field(default_factory=Bitset)
 
     def coverage_at_tests(self, n: int) -> float:
         """Coverage percent at the last curve point with <= n tests."""
@@ -95,6 +99,7 @@ class Campaign:
         result.final_coverage_percent = self.loop.total_percent
         result.raw_mismatches = self.loop.detector.raw_count
         result.unique_mismatches = self.loop.detector.unique_count
+        result.final_coverage = self.loop.calculator.cumulative.hits
         return result
 
     def run_tests(self, n_tests: int) -> CampaignResult:

@@ -121,16 +121,15 @@ class FuzzLoop:
         # only then fold results into campaign state, so a failed batch
         # leaves tests_run / coverage / mismatch accounting untouched.
         results = self.executor.run_batch([test.words for test in inputs])
-        self.calculator.begin_batch()
-        coverages: list[InputCoverage] = []
-        reports = []
         mismatches = 0
         for res in results:
             mismatches += len(
                 self.detector.observe(res.dut_trace, res.golden_trace)
             )
-            coverages.append(self.calculator.observe(res.report))
-            reports.append(res.report)
+        # Whole-batch coverage scoring in one vectorised sweep (identical to
+        # per-report observes — see repro.coverage.calculator).
+        reports = [res.report for res in results]
+        coverages: list[InputCoverage] = self.calculator.observe_batch(reports)
         self.clock.charge_tests(len(inputs))
         self.tests_run += len(inputs)
         scores = self.scorer.score_batch(coverages)

@@ -26,7 +26,14 @@ from repro.rtl.report import CoverageReport
 
 @dataclass(frozen=True)
 class DifferentialResult:
-    """Everything one differential simulation of a test body produced."""
+    """Everything one differential simulation of a test body produced.
+
+    The coverage report's hits travel as a packed
+    :class:`~repro.rtl.bitset.Bitset` (``total_arms / 8`` bytes on the
+    wire), so shipping a chunk of results back from a worker process costs
+    an order of magnitude less IPC than the per-arm pickled frozensets it
+    replaced — see ``tests/fuzzing/test_report_pickle.py``.
+    """
 
     dut_trace: CommitTrace
     golden_trace: CommitTrace

@@ -72,7 +72,8 @@ def compare_traces(dut: CommitTrace, gold: CommitTrace) -> list[Mismatch]:
     """
     mismatches: list[Mismatch] = []
     for i, (d, g) in enumerate(zip(dut.entries, gold.entries)):
-        mnemonic = _mnemonic(d)
+        # Decoded lazily: mnemonics are only needed when a mismatch fires,
+        # and the overwhelmingly common aligned entry has none.
         if d.pc != g.pc:
             mismatches.append(Mismatch(
                 "pc_divergence", i, d.pc,
@@ -94,7 +95,7 @@ def compare_traces(dut: CommitTrace, gold: CommitTrace) -> list[Mismatch]:
                 mismatches.append(Mismatch(
                     "trap_cause", i, d.pc,
                     f"dut cause {d.trap_cause} vs golden {g.trap_cause}",
-                    ("trap_cause", mnemonic, d.trap_cause, g.trap_cause),
+                    ("trap_cause", _mnemonic(d), d.trap_cause, g.trap_cause),
                 ))
             continue
         if d.rd != g.rd:
@@ -108,12 +109,12 @@ def compare_traces(dut: CommitTrace, gold: CommitTrace) -> list[Mismatch]:
                 kind = "rd_target"
                 detail = f"dut rd x{d.rd} vs golden x{g.rd}"
             mismatches.append(Mismatch(
-                kind, i, d.pc, detail, (kind, mnemonic)))
+                kind, i, d.pc, detail, (kind, _mnemonic(d))))
         elif d.rd is not None and d.rd_value != g.rd_value:
             mismatches.append(Mismatch(
                 "rd_value", i, d.pc,
                 f"x{d.rd}: dut {d.rd_value:#x} vs golden {g.rd_value:#x}",
-                ("rd_value", mnemonic),
+                ("rd_value", _mnemonic(d)),
             ))
         if (d.mem is None) != (g.mem is None) or (
             d.mem is not None and d.mem != g.mem
@@ -121,13 +122,13 @@ def compare_traces(dut: CommitTrace, gold: CommitTrace) -> list[Mismatch]:
             mismatches.append(Mismatch(
                 "mem", i, d.pc,
                 f"dut {d.mem} vs golden {g.mem}",
-                ("mem", mnemonic),
+                ("mem", _mnemonic(d)),
             ))
         if d.csr_write != g.csr_write:
             mismatches.append(Mismatch(
                 "csr", i, d.pc,
                 f"dut {d.csr_write} vs golden {g.csr_write}",
-                ("csr", mnemonic),
+                ("csr", _mnemonic(d)),
             ))
     if len(dut.entries) != len(gold.entries):
         mismatches.append(Mismatch(

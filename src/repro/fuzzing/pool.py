@@ -16,6 +16,10 @@ Design notes
   resurrect the per-test construction cost this module exists to remove.
 - Workers are reused across batches: the pool spins up lazily on the first
   ``run_batch`` and lives until :meth:`ShardedExecutor.close`.
+- Result transfer is bitset-packed: each chunk's coverage reports cross the
+  pipe as packed bitmaps (one small bytes payload per report) rather than
+  pickled per-arm frozensets, which shrinks the result pickle and lifts the
+  sharded speedup ceiling on IPC-bound machines (``BENCH_harness.json``).
 - A worker raising mid-chunk fails only that batch: remaining chunk futures
   are cancelled, the original exception propagates to the caller, and the
   pool stays usable for the next batch.  A worker *dying* (hard crash)

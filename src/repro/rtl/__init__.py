@@ -13,12 +13,16 @@ It provides:
   module tree and counts cycles.
 - :class:`~repro.rtl.report.CoverageReport` — the per-test coverage report
   consumed by the Coverage Calculator (:mod:`repro.coverage`).
+- :class:`~repro.rtl.bitset.Bitset` — the packed, set-compatible bitmap the
+  whole coverage data path (recording, reports, merging, IPC) runs on.
 """
 
+from repro.rtl.bitset import Bitset
 from repro.rtl.coverage import ConditionCoverage
 from repro.rtl.module import Module
 from repro.rtl.report import CoverageReport
 from repro.rtl.signal import Reg
 from repro.rtl.simulator import ClockDomain
 
-__all__ = ["ClockDomain", "ConditionCoverage", "CoverageReport", "Module", "Reg"]
+__all__ = ["Bitset", "ClockDomain", "ConditionCoverage", "CoverageReport",
+           "Module", "Reg"]

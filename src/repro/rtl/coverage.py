@@ -9,11 +9,23 @@ percentages are comparable across runs (and fuzzers).
 
 Conditions are declared once (at module construction = "elaboration") and
 recorded by integer handle on the hot path.
+
+Recording is bitset-based: the per-run hit state is one packed int bitmap
+(bit ``arm`` set <=> arm observed), kept alongside a per-arm bit table that
+is filled in during elaboration and sealed at :meth:`freeze`.  A scalar
+:meth:`record` is a single table lookup + OR; correlated condition groups
+whose outcomes are a pure function of one key (the decode conditions of an
+instruction word, the cause comparators of a trap, an idle interrupt poll)
+should be folded with :meth:`record_mask` — one OR retires the whole group,
+which is where the engine's throughput win over per-arm ``set.add`` comes
+from (see ``benchmarks/test_perf_coverage.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.rtl.bitset import Bitset
 
 
 @dataclass(frozen=True)
@@ -28,15 +40,20 @@ class ConditionCoverage:
     """The coverage database for one elaborated design.
 
     Arms are indexed ``2*idx`` (false arm) and ``2*idx + 1`` (true arm).
-    ``run_hits`` accumulates the arms observed since the last
-    :meth:`begin_run`, which is what the per-test report exposes.
+    The packed per-run bitmap accumulates the arms observed since the last
+    :meth:`begin_run`; :attr:`run_hits` exposes it as an immutable
+    set-compatible :class:`~repro.rtl.bitset.Bitset`.
     """
 
     def __init__(self) -> None:
         self._by_name: dict[str, ConditionInfo] = {}
         self._names: list[str] = []
         self._frozen = False
-        self.run_hits: set[int] = set()
+        #: Packed per-run hit bitmap (bit ``arm`` <=> arm observed this run).
+        self._run_bits = 0
+        #: Per-arm bit masks (``_arm_bits[arm] == 1 << arm``), grown at
+        #: declare time so the record path never constructs shift results.
+        self._arm_bits: list[int] = []
 
     # -- elaboration ---------------------------------------------------------
 
@@ -51,10 +68,13 @@ class ConditionCoverage:
         info = ConditionInfo(index=len(self._names), name=name)
         self._by_name[name] = info
         self._names.append(name)
+        arm = 2 * info.index
+        self._arm_bits.append(1 << arm)
+        self._arm_bits.append(1 << (arm + 1))
         return info.index
 
     def freeze(self) -> None:
-        """End elaboration: no further conditions may be declared."""
+        """End elaboration: the arm universe (and bit table) is now fixed."""
         self._frozen = True
 
     # -- recording (hot path) --------------------------------------------------
@@ -63,14 +83,38 @@ class ConditionCoverage:
         """Record one observation of a condition; returns ``bool(value)`` so
         the call can wrap the condition in-line: ``if cov.record(h, a == b):``"""
         value = bool(value)
-        self.run_hits.add(2 * handle + (1 if value else 0))
+        self._run_bits |= self._arm_bits[2 * handle + value]
         return value
+
+    def record_mask(self, mask: int) -> None:
+        """Fold a precomputed group of arm observations in one OR.
+
+        ``mask`` is an int bitmap of arm indices (build it with
+        :meth:`arm_bit` /
+        :meth:`~repro.rtl.module.Module.arm_bit` at group-memoization time).
+        This is the vectorised record path: a whole correlated condition
+        group costs one call instead of one per arm.
+        """
+        self._run_bits |= mask
+
+    def arm_bit(self, handle: int, value) -> int:
+        """The bitmap contribution of one observation (for mask building)."""
+        return self._arm_bits[2 * handle + (1 if value else 0)]
 
     # -- per-test bookkeeping ----------------------------------------------------
 
     def begin_run(self) -> None:
-        """Clear the per-test hit set (total counts live in the calculator)."""
-        self.run_hits = set()
+        """Clear the per-test hit bitmap (total counts live in the calculator)."""
+        self._run_bits = 0
+
+    @property
+    def run_hits(self) -> Bitset:
+        """The arms observed since :meth:`begin_run`, as an immutable bitset."""
+        return Bitset(self._run_bits, self.total_arms)
+
+    def run_bits(self) -> int:
+        """The raw packed per-run bitmap (zero-copy view for snapshots)."""
+        return self._run_bits
 
     # -- introspection -------------------------------------------------------------
 
@@ -85,6 +129,13 @@ class ConditionCoverage:
     def arm_name(self, arm: int) -> str:
         """Human-readable name of one arm, e.g. ``core.dcache.hit:T``."""
         return f"{self._names[arm // 2]}:{'T' if arm % 2 else 'F'}"
+
+    def arm_index(self, arm_name: str) -> int:
+        """Inverse of :meth:`arm_name`: ``core.dcache.hit:T`` -> arm index."""
+        name, _, polarity = arm_name.rpartition(":")
+        if polarity not in ("T", "F") or name not in self._by_name:
+            raise KeyError(f"not a declared arm: {arm_name!r}")
+        return 2 * self._by_name[name].index + (1 if polarity == "T" else 0)
 
     def names(self) -> tuple[str, ...]:
         return tuple(self._names)

@@ -51,6 +51,35 @@ class Module:
         """Record one observation of a declared condition; returns bool(value)."""
         return self.cov.record(self._handles[name], bool(value))
 
+    def arm_bit(self, name: str, value) -> int:
+        """Bitmap contribution of observing ``name`` with ``value``.
+
+        For building memoized group masks: OR the bits of a correlated
+        condition group once, then retire the whole group per evaluation
+        with ``self.cov.record_mask(mask)``.
+        """
+        return self.cov.arm_bit(self._handles[name], value)
+
+    def record_keyed_group(self, cache: dict, key, builder, arg,
+                           cap: int = 65536) -> None:
+        """Record a condition group whose outcome is a pure function of
+        ``key``, memoizing its packed mask in ``cache``.
+
+        On a miss, ``builder(arg)`` computes the group's arm mask (via
+        :meth:`arm_bit`); on a hit the whole group costs one dict probe and
+        one bitmap OR.  ``cache`` is bounded: at ``cap`` entries it is
+        cleared and rebuilt from the (small) hot working set, matching the
+        decoder's bounded-LRU policy rather than growing for the lifetime
+        of a campaign.
+        """
+        mask = cache.get(key)
+        if mask is None:
+            if len(cache) >= cap:
+                cache.clear()
+            mask = builder(arg)
+            cache[key] = mask
+        self.cov.record_mask(mask)
+
     def commit(self) -> None:
         """Clock edge: latch every register in this module and its children."""
         for register in self._regs:

@@ -5,12 +5,20 @@ the paper's Coverage Calculator (§IV-B): the set of condition arms this test
 hit, plus the design's static totals.  Reports are cheap, immutable value
 objects; cumulative accounting lives in
 :class:`repro.coverage.calculator.CoverageCalculator`.
+
+Hits are carried as a packed :class:`~repro.rtl.bitset.Bitset` — snapshotting
+a report off the coverage database is one int copy, merging is a bitwise OR
+plus popcount, and the pickle payload shipped across the sharded executor's
+process pool is ``total_arms / 8`` bytes instead of a per-arm pickled
+frozenset.  The bitset keeps the old set API (membership, iteration,
+``len``, equality with sets), so report consumers are source-compatible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.rtl.bitset import Bitset
 from repro.rtl.coverage import ConditionCoverage
 
 
@@ -18,18 +26,26 @@ from repro.rtl.coverage import ConditionCoverage
 class CoverageReport:
     """Coverage outcome of simulating one test input."""
 
-    #: Arm indices hit during this test (see ConditionCoverage indexing).
-    hits: frozenset[int]
+    #: Packed arm indices hit during this test (ConditionCoverage indexing).
+    #: Accepts any iterable of arm indices at construction; normalised to a
+    #: :class:`Bitset`.
+    hits: Bitset
     #: Static number of condition arms in the design (2 per condition).
     total_arms: int
     #: Simulated clock cycles consumed by the test.
     cycles: int = 0
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.hits, Bitset):
+            object.__setattr__(
+                self, "hits", Bitset.from_iterable(self.hits, self.total_arms)
+            )
+
     @classmethod
     def from_coverage(cls, cov: ConditionCoverage, cycles: int = 0) -> "CoverageReport":
-        """Snapshot the per-run hit set of a coverage database."""
-        return cls(hits=frozenset(cov.run_hits), total_arms=cov.total_arms,
-                   cycles=cycles)
+        """Snapshot the per-run hit bitmap of a coverage database."""
+        return cls(hits=Bitset(cov.run_bits(), cov.total_arms),
+                   total_arms=cov.total_arms, cycles=cycles)
 
     @property
     def standalone_count(self) -> int:
@@ -43,28 +59,55 @@ class CoverageReport:
         return len(self.hits) / self.total_arms
 
 
-@dataclass
 class CumulativeCoverage:
-    """Mutable union of report hits — the "total coverage" accumulator."""
+    """Mutable union of report hits — the "total coverage" accumulator.
 
-    total_arms: int
-    hits: set[int] = field(default_factory=set)
+    Internally one int bitmap + a popcount kept incrementally, so
+    :meth:`merge` is a bitwise OR and the coverage fraction never rescans
+    the set.
+    """
+
+    def __init__(self, total_arms: int, hits=None) -> None:
+        self.total_arms = total_arms
+        self._bits = Bitset.from_iterable(hits or (), total_arms).to_int()
+        self._count = self._bits.bit_count()
 
     def merge(self, report: CoverageReport) -> int:
         """Fold one report in; returns the number of newly-hit arms."""
-        new = report.hits - self.hits
-        self.hits |= new
-        return len(new)
+        return self.merge_bits(report.hits.to_int())
+
+    def merge_bits(self, bits: int) -> int:
+        """Fold a raw packed bitmap in; returns the number of new arms."""
+        new = bits & ~self._bits
+        if not new:
+            return 0
+        self._bits |= new
+        gained = new.bit_count()
+        self._count += gained
+        return gained
+
+    @property
+    def hits(self) -> Bitset:
+        """The merged arm set (immutable packed view)."""
+        return Bitset(self._bits, self.total_arms)
+
+    def bits(self) -> int:
+        """The raw packed bitmap (zero-copy view for the calculator)."""
+        return self._bits
+
+    def missing(self) -> Bitset:
+        """The arms not yet covered (complement within the universe)."""
+        return ~self.hits
 
     @property
     def count(self) -> int:
-        return len(self.hits)
+        return self._count
 
     @property
     def fraction(self) -> float:
         if self.total_arms == 0:
             return 0.0
-        return len(self.hits) / self.total_arms
+        return self._count / self.total_arms
 
     @property
     def percent(self) -> float:

@@ -127,6 +127,12 @@ class BoomCore(Module):
         )
         cov.freeze()
 
+        # Memoized group masks (see RocketCore): the decode condition group
+        # is a pure function of the instruction word, the trap-comparator
+        # group of the cause — each folds to one record_mask per evaluation.
+        self._decode_mask_cache: dict[int, int] = {}
+        self._trap_mask_cache: dict[int, int] = {}
+
     # ------------------------------------------------------------------ run --
 
     def run(self, program: list[int], base: int = DRAM_BASE) -> tuple[CommitTrace, CoverageReport]:
@@ -211,7 +217,7 @@ class BoomCore(Module):
 
             # ---------------- decode / rename --------------------------------
             instr = decode(word)
-            self.cond("decode.illegal", instr is None)
+            self._decode_conditions(instr, word)
             if instr is None:
                 cycles += p.mispredict_penalty
                 traps_taken += 1
@@ -230,15 +236,6 @@ class BoomCore(Module):
                 continue
             spec = instr.spec
             m = spec.mnemonic
-            self.cond("decode.is_load", spec.is_load)
-            self.cond("decode.is_store", spec.is_store)
-            self.cond("decode.is_branch", spec.is_branch)
-            self.cond("decode.is_jump", spec.is_jump)
-            self.cond("decode.is_amo", spec.is_amo)
-            self.cond("decode.is_muldiv", spec.is_muldiv)
-            self.cond("decode.is_csr", spec.is_csr)
-            self.cond("decode.is_system", spec.is_system)
-            self.cond("decode.is_fence", spec.is_fence)
 
             if spec.writes_rd:
                 self.cond("rename.rd_x0", instr.rd == 0)
@@ -398,7 +395,37 @@ class BoomCore(Module):
         trace.cycles = cycles
         return trace, CoverageReport.from_coverage(self.cov, cycles)
 
+    def _decode_conditions(self, instr, word: int) -> None:
+        """Record the decode-stage condition group — one OR per instruction."""
+        self.record_keyed_group(self._decode_mask_cache, word,
+                                self._decode_mask, instr)
+
+    def _decode_mask(self, instr) -> int:
+        arm = self.arm_bit
+        mask = arm("decode.illegal", instr is None)
+        if instr is None:
+            # The illegal path traps before reaching the class conditions,
+            # which therefore go unevaluated — exactly the old behaviour.
+            return mask
+        spec = instr.spec
+        mask |= arm("decode.is_load", spec.is_load)
+        mask |= arm("decode.is_store", spec.is_store)
+        mask |= arm("decode.is_branch", spec.is_branch)
+        mask |= arm("decode.is_jump", spec.is_jump)
+        mask |= arm("decode.is_amo", spec.is_amo)
+        mask |= arm("decode.is_muldiv", spec.is_muldiv)
+        mask |= arm("decode.is_csr", spec.is_csr)
+        mask |= arm("decode.is_system", spec.is_system)
+        mask |= arm("decode.is_fence", spec.is_fence)
+        return mask
+
     def _trap_conditions(self, cause: int) -> None:
-        self.cond("csr.trap_taken", True)
+        """Record the trap-entry condition group — mask memoized per cause."""
+        self.record_keyed_group(self._trap_mask_cache, cause,
+                                self._trap_mask, cause)
+
+    def _trap_mask(self, cause: int) -> int:
+        mask = self.arm_bit("csr.trap_taken", True)
         for c in _CAUSE_CONDITIONS:
-            self.cond(f"csr.cause_is_{c}", cause == c)
+            mask |= self.arm_bit(f"csr.cause_is_{c}", cause == c)
+        return mask

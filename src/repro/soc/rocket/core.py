@@ -195,6 +195,27 @@ class RocketCore(Module):
         )
         cov.freeze()
 
+        # Memoized group masks: the decode conditions are a pure function of
+        # the instruction word and the trap-cause comparators of the cause,
+        # so each group collapses to one packed-bitmap OR per evaluation
+        # (ConditionCoverage.record_mask) after the first sighting.
+        self._decode_mask_cache: dict[int, int] = {}
+        self._trap_mask_cache: dict[int, int] = {}
+        # The always-on hazard conditions are data-dependent (no memoizing),
+        # but their per-arm bits can be prebound as (false_bit, true_bit)
+        # pairs: the run loop indexes each pair with the condition's bool and
+        # folds the whole group into one record_mask.
+        self._hazard_pairs = tuple(
+            (self.arm_bit(name, False), self.arm_bit(name, True))
+            for name in (
+                "hazard.raw_rs1_ex", "hazard.raw_rs2_ex",
+                "hazard.raw_rs1_mem", "hazard.raw_rs2_mem",
+                "hazard.load_use_stall", "hazard.muldiv_busy",
+                "hazard.chain3", "hazard.chain5",
+                "hazard.sp_update_use", "hazard.load_use_after_miss",
+            )
+        )
+
     # ------------------------------------------------------------------ run --
 
     def run(self, program: list[int], base: int = DRAM_BASE) -> tuple[CommitTrace, CoverageReport]:
@@ -291,34 +312,38 @@ class RocketCore(Module):
             spec = instr.spec
 
             # ---------------- hazards ---------------------------------------
+            # Condition values are computed up front, the timing bookkeeping
+            # runs on them, and the whole group is recorded as one packed
+            # mask (recording has no side effects, so ordering is free).
             rs1 = instr.rs1 if spec.reads_rs1 else None
             rs2 = instr.rs2 if spec.reads_rs2 else None
             raw1_ex = rs1 is not None and rs1 != 0 and rs1 == prev1[0]
             raw2_ex = rs2 is not None and rs2 != 0 and rs2 == prev1[0]
-            self.cond("hazard.raw_rs1_ex", raw1_ex)
-            self.cond("hazard.raw_rs2_ex", raw2_ex)
-            self.cond("hazard.raw_rs1_mem",
-                      rs1 is not None and rs1 != 0 and rs1 == prev2[0])
-            self.cond("hazard.raw_rs2_mem",
-                      rs2 is not None and rs2 != 0 and rs2 == prev2[0])
             load_use = (raw1_ex or raw2_ex) and prev1[1]
-            self.cond("hazard.load_use_stall", load_use)
             if load_use:
                 cycles += 1
             muldiv_stall = spec.is_muldiv and cycles < muldiv_busy_until
-            self.cond("hazard.muldiv_busy", muldiv_stall)
             if muldiv_stall:
                 cycles = muldiv_busy_until
             if raw1_ex or raw2_ex:
                 dep_chain += 1
             else:
                 dep_chain = 1 if spec.writes_rd else 0
-            self.cond("hazard.chain3", dep_chain >= 3)
-            self.cond("hazard.chain5", dep_chain >= 5)
-            self.cond("hazard.sp_update_use",
-                      prev_wrote_sp and rs1 == 2)
-            self.cond("hazard.load_use_after_miss",
-                      load_use and self._prev_load_missed)
+            (p_raw1_ex, p_raw2_ex, p_raw1_mem, p_raw2_mem, p_load_use,
+             p_muldiv, p_chain3, p_chain5, p_sp_use, p_lu_miss,
+             ) = self._hazard_pairs
+            self.cov.record_mask(
+                p_raw1_ex[raw1_ex]
+                | p_raw2_ex[raw2_ex]
+                | p_raw1_mem[rs1 is not None and rs1 != 0 and rs1 == prev2[0]]
+                | p_raw2_mem[rs2 is not None and rs2 != 0 and rs2 == prev2[0]]
+                | p_load_use[load_use]
+                | p_muldiv[muldiv_stall]
+                | p_chain3[dep_chain >= 3]
+                | p_chain5[dep_chain >= 5]
+                | p_sp_use[bool(prev_wrote_sp and rs1 == 2)]
+                | p_lu_miss[bool(load_use and self._prev_load_missed)]
+            )
             prev_wrote_sp = spec.writes_rd and instr.rd == 2
             if spec.is_muldiv:
                 self.cond("execute.muldiv_chain",
@@ -510,39 +535,51 @@ class RocketCore(Module):
     # ------------------------------------------------------------- conditions --
 
     def _decode_conditions(self, instr, word: int) -> None:
+        """Record the decode-stage condition group — one OR per instruction.
+
+        All 23 decode conditions are a pure function of the fetched word, so
+        the group's packed arm mask is built once per distinct word and then
+        folded with a single ``record_mask``.
+        """
+        self.record_keyed_group(self._decode_mask_cache, word,
+                                self._decode_mask, instr)
+
+    def _decode_mask(self, instr) -> int:
         spec = instr.spec if instr is not None else None
         m = spec.mnemonic if spec else ""
-        self.cond("decode.illegal", instr is None)
-        self.cond("decode.is_alu_reg", spec is not None and spec.fmt == "R"
-                  and not spec.is_muldiv)
-        self.cond("decode.is_alu_imm", spec is not None
-                  and spec.fmt in ("I", "I_SHIFT64", "I_SHIFT32")
-                  and not (spec.is_load or spec.is_jump))
-        self.cond("decode.is_lui", m == "lui")
-        self.cond("decode.is_auipc", m == "auipc")
-        self.cond("decode.is_load", spec is not None and spec.is_load)
-        self.cond("decode.is_store", spec is not None and spec.is_store)
-        self.cond("decode.is_branch", spec is not None and spec.is_branch)
-        self.cond("decode.is_jal", m == "jal")
-        self.cond("decode.is_jalr", m == "jalr")
-        self.cond("decode.is_amo", spec is not None and spec.is_amo
-                  and not m.startswith(("lr.", "sc.")))
-        self.cond("decode.is_lr", m.startswith("lr."))
-        self.cond("decode.is_sc", m.startswith("sc."))
-        self.cond("decode.is_muldiv", spec is not None and spec.is_muldiv)
-        self.cond("decode.is_csr", spec is not None and spec.is_csr)
-        self.cond("decode.is_system", spec is not None and spec.is_system)
-        self.cond("decode.is_fence", m == "fence")
-        self.cond("decode.is_fencei", m == "fence.i")
-        self.cond("decode.rd_x0", spec is not None and spec.writes_rd
-                  and instr.rd == 0)
-        self.cond("decode.rs1_x0", spec is not None and spec.reads_rs1
-                  and instr.rs1 == 0)
+        arm = self.arm_bit
+        mask = arm("decode.illegal", instr is None)
+        mask |= arm("decode.is_alu_reg", spec is not None and spec.fmt == "R"
+                    and not spec.is_muldiv)
+        mask |= arm("decode.is_alu_imm", spec is not None
+                    and spec.fmt in ("I", "I_SHIFT64", "I_SHIFT32")
+                    and not (spec.is_load or spec.is_jump))
+        mask |= arm("decode.is_lui", m == "lui")
+        mask |= arm("decode.is_auipc", m == "auipc")
+        mask |= arm("decode.is_load", spec is not None and spec.is_load)
+        mask |= arm("decode.is_store", spec is not None and spec.is_store)
+        mask |= arm("decode.is_branch", spec is not None and spec.is_branch)
+        mask |= arm("decode.is_jal", m == "jal")
+        mask |= arm("decode.is_jalr", m == "jalr")
+        mask |= arm("decode.is_amo", spec is not None and spec.is_amo
+                    and not m.startswith(("lr.", "sc.")))
+        mask |= arm("decode.is_lr", m.startswith("lr."))
+        mask |= arm("decode.is_sc", m.startswith("sc."))
+        mask |= arm("decode.is_muldiv", spec is not None and spec.is_muldiv)
+        mask |= arm("decode.is_csr", spec is not None and spec.is_csr)
+        mask |= arm("decode.is_system", spec is not None and spec.is_system)
+        mask |= arm("decode.is_fence", m == "fence")
+        mask |= arm("decode.is_fencei", m == "fence.i")
+        mask |= arm("decode.rd_x0", spec is not None and spec.writes_rd
+                    and instr.rd == 0)
+        mask |= arm("decode.rs1_x0", spec is not None and spec.reads_rs1
+                    and instr.rs1 == 0)
         word_op = spec is not None and (
             (m.endswith("w") and m not in ("lw", "sw", "lwu", "lhu"))
             or m.endswith(".w")
         )
-        self.cond("decode.word_op", word_op)
+        mask |= arm("decode.word_op", word_op)
+        return mask
 
     def _execute_conditions(self, instr, result, state, pc: int) -> int:
         """Record execute-stage conditions; returns extra cycles."""
@@ -681,9 +718,15 @@ class RocketCore(Module):
         return extra
 
     def _trap_conditions(self, cause: int) -> None:
-        self.cond("csr.trap_taken", True)
+        """Record the trap-entry condition group — mask memoized per cause."""
+        self.record_keyed_group(self._trap_mask_cache, cause,
+                                self._trap_mask, cause)
+
+    def _trap_mask(self, cause: int) -> int:
+        mask = self.arm_bit("csr.trap_taken", True)
         for c in _CAUSE_CONDITIONS:
-            self.cond(f"csr.cause_is_{c}", cause == c)
+            mask |= self.arm_bit(f"csr.cause_is_{c}", cause == c)
+        return mask
 
     def _mem_fault_conditions(self, instr, trap: Trap) -> None:
         if instr is None or not instr.spec.is_memory:

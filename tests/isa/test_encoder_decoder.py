@@ -165,5 +165,37 @@ class TestEncoderErrors:
             encode("beq", rs1=0, rs2=0, imm=3)
 
 
-def test_decode_is_memoised():
-    assert decode(0x00310093) is decode(0x00310093)
+class TestDecodeMemoisation:
+    """Regression pin for the decode LRU: fuzzing campaigns re-decode the
+    same few dozen words every test body, so repeats must be cache hits."""
+
+    def test_decode_is_memoised(self):
+        assert decode(0x00310093) is decode(0x00310093)
+
+    def test_repeat_decode_hits_cache(self):
+        decode.cache_clear()
+        body = [encode("addi", rd=1, rs1=1, imm=i) for i in range(8)]
+        for word in body:
+            decode(word)
+        misses_after_first_pass = decode.cache_info().misses
+        hits_before = decode.cache_info().hits
+        # A fuzzing campaign's steady state: same words, every run.
+        for _ in range(5):
+            for word in body:
+                decode(word)
+        info = decode.cache_info()
+        assert info.misses == misses_after_first_pass  # no new misses
+        assert info.hits >= hits_before + 5 * len(body)
+
+    def test_cache_keyed_on_word(self):
+        decode.cache_clear()
+        a, b = encode("add", rd=1, rs1=2, rs2=3), encode("sub", rd=1, rs1=2, rs2=3)
+        assert decode(a).mnemonic == "add"
+        assert decode(b).mnemonic == "sub"
+        assert decode.cache_info().misses == 2
+
+    def test_illegal_words_also_cached(self):
+        decode.cache_clear()
+        assert decode(0xFFFFFFFF) is None
+        assert decode(0xFFFFFFFF) is None
+        assert decode.cache_info().hits == 1

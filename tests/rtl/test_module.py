@@ -99,3 +99,37 @@ class TestClockDomain:
         clock = ClockDomain(Module("m", ConditionCoverage()))
         with pytest.raises(TypeError):
             clock.tick()
+
+
+class TestRecordKeyedGroup:
+    def make_module(self):
+        cov = ConditionCoverage()
+        mod = Module("m", cov)
+        mod.conditions("a", "b")
+        cov.freeze()
+        return mod, cov
+
+    def test_builds_once_and_records_every_time(self):
+        mod, cov = self.make_module()
+        cache = {}
+        calls = []
+
+        def builder(key):
+            calls.append(key)
+            return mod.arm_bit("a", key) | mod.arm_bit("b", not key)
+
+        mod.record_keyed_group(cache, True, builder, True)
+        mod.record_keyed_group(cache, True, builder, True)
+        assert calls == [True]          # memoized after the first sighting
+        assert cov.run_hits == {1, 2}   # a:T, b:F
+        cov.begin_run()
+        mod.record_keyed_group(cache, True, builder, True)
+        assert cov.run_hits == {1, 2}   # hits re-recorded from the cache
+
+    def test_cache_bounded_by_cap(self):
+        mod, cov = self.make_module()
+        cache = {}
+        build = lambda key: mod.arm_bit("a", key % 2)
+        for key in range(10):
+            mod.record_keyed_group(cache, key, build, key, cap=4)
+        assert len(cache) <= 4          # cleared at the cap, never unbounded
