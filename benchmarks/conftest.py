@@ -41,11 +41,45 @@ def scaled(n: int) -> int:
     return max(16, int(n * SCALE))
 
 
+def _section_key(title: str) -> str:
+    """The part of a section title that identifies the *artifact*.
+
+    Benchmark titles follow ``"NAME: parameters"``, and the parameters can
+    embed machine facts (core counts), so matching on the full title would
+    re-append rather than replace when the same benchmark runs on different
+    hardware.  Key on the name before the colon; titles without one are
+    their own key.
+    """
+    return title.split(":", 1)[0].strip()
+
+
 def emit(table: str) -> None:
-    """Print a result table and append it to bench_results.txt."""
+    """Print a result table and write it to bench_results.txt.
+
+    Sections are keyed by benchmark (see :func:`_section_key`): re-running
+    one *replaces* its section in place instead of appending another copy —
+    the file stays one-section-per-artifact no matter how many times
+    ``--runperf`` runs or on which machine.  Unknown benchmarks append at
+    the end, preserving the historical ordering of the file.
+    """
     print("\n" + table)
-    with RESULTS_PATH.open("a") as fh:
-        fh.write(table + "\n\n")
+    key = _section_key(table.splitlines()[0])
+    blocks = []
+    if RESULTS_PATH.exists():
+        blocks = [block for block in RESULTS_PATH.read_text().split("\n\n")
+                  if block.strip()]
+    replaced = False
+    kept: list[str] = []
+    for block in blocks:
+        if _section_key(block.splitlines()[0]) == key:
+            if not replaced:
+                kept.append(table)  # replace the first occurrence in place
+                replaced = True
+            continue  # drop historical duplicates of the same section
+        kept.append(block)
+    if not replaced:
+        kept.append(table)
+    RESULTS_PATH.write_text("\n\n".join(kept) + "\n\n")
 
 
 #: One line per BENCH_*.json written this session, for the terminal summary.

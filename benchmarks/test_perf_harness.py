@@ -12,9 +12,14 @@ Results go to ``BENCH_harness.json`` and ``bench_results.txt``.  Marked
 ``perf``: run with ``pytest --runperf benchmarks/test_perf_harness.py``.
 
 Speed-up is hardware-bound: a worker pool cannot beat serial on a
-single-CPU machine (the simulators are pure-Python compute), so the 2x
-acceptance gate applies only where the pool has >= 4 cores to spread over;
-the JSON artifact records the measured numbers and core count either way.
+single-CPU machine (the simulators are pure-Python compute), so the
+benchmark is *core-aware*: worker counts exceeding the machine's cores are
+skipped (their tests/sec would measure pure IPC overhead — 0.84-0.90x on a
+1-core box — and read as a regression), recorded in the JSON as
+``{"skipped": ...}`` entries next to ``n_cores``.  On a machine with no
+eligible count, the smallest one still runs, annotated
+``"exceeds_cores": true``, so the artifact always carries one sharded data
+point.  The 2x acceptance gate applies only where the pool has >= 4 cores.
 """
 
 from __future__ import annotations
@@ -56,46 +61,64 @@ def _tests_per_sec(executor, bodies) -> float:
     return len(bodies) / best
 
 
+def eligible_worker_counts(cores: int) -> list[int]:
+    """Worker counts worth measuring on a ``cores``-core machine.
+
+    Counts beyond the core count only measure pool overhead; when *none*
+    fit (single-core box), keep the smallest so the artifact still has a
+    sharded point — annotated, not asserted on.
+    """
+    fitting = [n for n in WORKER_COUNTS if n <= cores]
+    return fitting or [WORKER_COUNTS[0]]
+
+
 @pytest.mark.perf
 def test_harness_tests_per_sec():
     factory = rocket_harness_factory()
     bodies = _fixed_bodies()
     cores = os.cpu_count() or 1
+    measured_counts = eligible_worker_counts(cores)
 
     with SerialExecutor(factory) as serial:
         serial_tps = _tests_per_sec(serial, bodies)
 
     sharded_tps: dict[int, float] = {}
-    for n_workers in WORKER_COUNTS:
+    for n_workers in measured_counts:
         with ShardedExecutor(factory, n_workers=n_workers) as sharded:
             sharded_tps[n_workers] = _tests_per_sec(sharded, bodies)
+
+    def entry(n: int) -> dict:
+        if n not in sharded_tps:
+            return {"skipped": f"{n} workers exceed {cores} cores"}
+        result = {
+            "tests_per_sec": round(sharded_tps[n], 1),
+            "speedup": round(sharded_tps[n] / serial_tps, 2),
+        }
+        if n > cores:
+            result["exceeds_cores"] = True  # overhead probe, not a speedup
+        return result
 
     record = {
         "benchmark": "harness_tests_per_sec",
         "batch": BATCH,
         "body_instructions": BODY_INSTRUCTIONS,
-        "cpu_cores": cores,
+        "n_cores": cores,
         "serial_tests_per_sec": round(serial_tps, 1),
-        "sharded": {
-            str(n): {
-                "tests_per_sec": round(tps, 1),
-                "speedup": round(tps / serial_tps, 2),
-            }
-            for n, tps in sharded_tps.items()
-        },
+        "sharded": {str(n): entry(n) for n in WORKER_COUNTS},
     }
     best_n = max(sharded_tps, key=sharded_tps.get)
-    write_bench_json(
-        "BENCH_harness.json", record,
-        headline=(
-            f"sharded {sharded_tps[best_n] / serial_tps:.2f}x at "
-            f"{best_n} workers ({cores} cores)"
-        ),
+    best_ratio = sharded_tps[best_n] / serial_tps
+    headline = (
+        f"sharded {best_ratio:.2f}x at {best_n} workers ({cores} cores)"
     )
+    if best_n > cores:
+        headline += " [pool-overhead bound: workers exceed cores]"
+    write_bench_json("BENCH_harness.json", record, headline=headline)
 
     rows = [["serial", f"{serial_tps:.1f}", "1.00x"]]
     rows += [
-        [f"{n} workers", f"{tps:.1f}", f"{tps / serial_tps:.2f}x"]
+        [f"{n} workers" + (" (> cores)" if n > cores else ""),
+         f"{tps:.1f}", f"{tps / serial_tps:.2f}x"]
         for n, tps in sharded_tps.items()
     ]
     emit(format_table(

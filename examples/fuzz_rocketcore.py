@@ -11,6 +11,10 @@ With ``--workers N`` each batch's differential simulation is sharded over a
 pool of N worker processes (each owning its own DUT + golden ISS); results
 are bit-identical to serial, only the wall-clock changes.  Serial wins on a
 single-core machine and for tiny batches — see ROADMAP.md.
+
+To run the whole comparison as parallel *campaigns* instead (one worker
+process per fuzzer arm, with budget scheduling, checkpoint/resume and
+cross-campaign aggregation), use ``examples/run_fleet.py``.
 """
 
 import argparse

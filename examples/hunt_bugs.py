@@ -5,6 +5,10 @@ Part 1 triggers each behaviour with a targeted program (the "manual
 analysis" view); part 2 finds them by fuzzing (the campaign view).
 
 Run:  python examples/hunt_bugs.py
+
+For the fleet-scale version of part 2 — several fuzzers hunting at once,
+with signatures deduped across campaigns and per-campaign attribution in
+the E-BUGS table — see ``examples/run_fleet.py``.
 """
 
 from repro.analysis.bugs import KNOWN_BUGS, classify_mismatches, detected_bugs

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure-2 fuzzer comparison as one fleet run.
+
+Builds a fleet of campaign arms — ChatFuzz (trained on the fly), TheHuzz,
+DifuzzRTL and random regression, optionally seed-swept — and runs them
+through :class:`repro.fuzzing.fleet.FleetRunner`: sharded over campaign
+worker processes, optionally budget-scheduled (round-robin or the
+MABFuzz-style UCB1 bandit), checkpointable, and aggregated into union
+coverage, a merged coverage curve on the shared sim-hours epoch, and the
+cross-campaign E-BUGS detection table with per-campaign attribution.
+
+Run:  python examples/run_fleet.py [--tests N] [--workers W]
+          [--scheduler none|roundrobin|bandit] [--slice N]
+          [--checkpoint DIR] [--seeds K] [--no-chatfuzz]
+
+Useful shapes:
+
+- ``--workers 4`` on a >= 4-core box runs four campaigns concurrently
+  (campaign workers, *not* harness workers — see ROADMAP.md: campaigns
+  inside fleet workers always simulate serially).
+- ``--scheduler bandit`` spends the shared budget where new coverage is
+  still being found instead of splitting it evenly.
+- ``--checkpoint DIR`` makes the run resumable: kill it, rerun the same
+  command, and completed slices are not redone.
+"""
+
+import argparse
+import pickle
+from pathlib import Path
+
+from repro.analysis.fleet import fleet_bug_table
+from repro.analysis.report import format_table
+from repro.fuzzing.fleet import CampaignSpec, FleetRunner
+from repro.fuzzing.scheduler import BanditScheduler, RoundRobin
+from repro.ml.lm_training import LMTrainConfig
+from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
+from repro.ml.transformer import GPT2Config
+from repro.soc.harness import make_rocket_harness
+
+parser = argparse.ArgumentParser(
+    description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+)
+parser.add_argument("--tests", type=int, default=200, metavar="N",
+                    help="test budget per campaign arm")
+parser.add_argument("--workers", type=int, default=0, metavar="W",
+                    help="campaign worker processes (0 = in-process)")
+parser.add_argument("--scheduler", choices=("none", "roundrobin", "bandit"),
+                    default="none",
+                    help="budget scheduling: none = every arm runs its whole "
+                         "budget; roundrobin/bandit allocate slices")
+parser.add_argument("--slice", type=int, default=40, metavar="N",
+                    dest="slice_tests", help="tests per scheduler slice")
+parser.add_argument("--checkpoint", metavar="DIR", default=None,
+                    help="checkpoint directory (enables resume)")
+parser.add_argument("--seeds", type=int, default=1, metavar="K",
+                    help="seed-sweep: K arms per fuzzer kind")
+parser.add_argument("--no-chatfuzz", action="store_true",
+                    help="skip ChatFuzz (and its training step)")
+args = parser.parse_args()
+
+specs = []
+for k in range(args.seeds):
+    specs += [
+        CampaignSpec(f"TheHuzz#{k}", fuzzer="thehuzz",
+                     fuzzer_config={"body_instructions": 24}, seed=1 + k,
+                     batch_size=20, budget_tests=args.tests),
+        CampaignSpec(f"DifuzzRTL#{k}", fuzzer="difuzzrtl",
+                     fuzzer_config={"body_instructions": 24}, seed=31 + k,
+                     batch_size=20, budget_tests=args.tests),
+        CampaignSpec(f"random#{k}", fuzzer="random",
+                     fuzzer_config={"body_instructions": 24}, seed=61 + k,
+                     batch_size=20, budget_tests=args.tests),
+    ]
+
+if not args.no_chatfuzz:
+    # With --checkpoint, the trained generators are cached next to the
+    # checkpoint: a resumed run must rebuild *identical* specs (the
+    # checkpoint fingerprint hashes the generator), and retraining on
+    # every resume would waste minutes to produce state the checkpoint
+    # supersedes anyway.
+    cache = (Path(args.checkpoint) / "chatfuzz_generators.pkl"
+             if args.checkpoint else None)
+    if cache is not None and cache.exists():
+        print("loading cached ChatFuzz generators from the checkpoint...")
+        generators = pickle.loads(cache.read_bytes())
+    else:
+        print("training ChatFuzz (three-step pipeline)...")
+        pipeline = ChatFuzzPipeline(PipelineConfig(
+            corpus_functions=200,
+            model=GPT2Config(dim=48, n_layers=2, n_heads=2, max_seq=80),
+            lm=LMTrainConfig(steps=350, batch_size=12, lr=2e-3),
+            step2_steps=5, step3_steps=3, ppo_batch_size=12,
+            response_instructions=20,
+        ))
+        pipeline.run_all(make_rocket_harness())
+        generators = [pipeline.make_generator(seed=11 + k)
+                      for k in range(args.seeds)]
+        if cache is not None:
+            cache.parent.mkdir(parents=True, exist_ok=True)
+            cache.write_bytes(pickle.dumps(generators))
+    # The trained generator is picklable, so it ships to fleet workers and
+    # travels inside checkpoints like any other campaign state.
+    specs += [
+        CampaignSpec(f"ChatFuzz#{k}", generator=generator,
+                     batch_size=20, budget_tests=args.tests)
+        for k, generator in enumerate(generators)
+    ]
+
+mode = f"{args.workers} campaign workers" if args.workers else "in-process"
+print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests "
+      f"({mode}, scheduler={args.scheduler})\n")
+
+with FleetRunner(specs, n_workers=args.workers,
+                 checkpoint_dir=args.checkpoint) as fleet:
+    if args.scheduler == "none":
+        result = fleet.run()
+    else:
+        scheduler = (RoundRobin() if args.scheduler == "roundrobin"
+                     else BanditScheduler(exploration=0.1))
+        result = fleet.run_scheduled(scheduler,
+                                     slice_tests=args.slice_tests)
+
+print(result.summary())
+
+names = [spec.name for spec in specs]
+rows = []
+for fraction in (0.2, 0.5, 1.0):
+    at = int(args.tests * fraction)
+    rows.append([at] + [
+        f"{campaign.coverage_at_tests(at):.1f}"
+        for campaign in result.campaigns
+    ])
+print()
+print(format_table(
+    ["tests"] + names, rows,
+    title="condition coverage %, RocketCore (paper Fig. 2 shape)",
+))
+
+merged = result.merged_curve()
+rows = [[f"{point.sim_hours:.2f}", point.tests,
+         f"{point.coverage_percent:.2f}"]
+        for point in merged[:: max(1, len(merged) // 8)]]
+print()
+print(format_table(
+    ["sim-hours", "fleet tests", "union cov%"], rows,
+    title="fleet union coverage on the shared sim-hours epoch",
+))
+
+print()
+print(fleet_bug_table(result.campaigns))

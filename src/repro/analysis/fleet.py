@@ -1,0 +1,115 @@
+"""Cross-campaign analysis: mismatch dedup, attribution, E-BUGS tables.
+
+A fleet of campaigns (``repro.fuzzing.fleet``) finds the same bugs many
+times over — every TheHuzz seed that stumbles on Bug2 produces the same
+mismatch signature.  The paper's detection table counts each *finding*
+once, so this module dedupes unique mismatch signatures across campaigns
+while retaining which campaigns found each one (attribution is the
+interesting per-fuzzer result: did the weaker feedback still find Bug1?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.bugs import KNOWN_BUGS, classify_mismatch
+from repro.analysis.report import format_table
+from repro.fuzzing.campaign import CampaignResult
+from repro.fuzzing.mismatch import Mismatch
+
+
+@dataclass(frozen=True)
+class FleetMismatch:
+    """One deduped mismatch signature with per-campaign attribution."""
+
+    #: Representative mismatch (from the first campaign that found it).
+    mismatch: Mismatch
+    #: Names of every campaign that found this signature, in fleet order.
+    campaigns: tuple[str, ...]
+
+    @property
+    def signature(self) -> tuple:
+        return self.mismatch.signature
+
+
+def dedupe_mismatches(
+    campaigns: Iterable[CampaignResult],
+) -> dict[tuple, FleetMismatch]:
+    """Collapse identical signatures across campaigns (count-once view).
+
+    Keyed by signature; each entry keeps the first campaign's representative
+    mismatch and accumulates the names of all campaigns that found it.
+    """
+    deduped: dict[tuple, FleetMismatch] = {}
+    for campaign in campaigns:
+        for mismatch in campaign.mismatches:
+            entry = deduped.get(mismatch.signature)
+            if entry is None:
+                deduped[mismatch.signature] = FleetMismatch(
+                    mismatch, (campaign.name,)
+                )
+            elif campaign.name not in entry.campaigns:
+                deduped[mismatch.signature] = FleetMismatch(
+                    entry.mismatch, entry.campaigns + (campaign.name,)
+                )
+    return deduped
+
+
+def classify_fleet_mismatches(
+    campaigns: Iterable[CampaignResult],
+) -> dict[str, list[FleetMismatch]]:
+    """Deduped signatures grouped by known-bug id ('UNEXPLAINED' rest)."""
+    groups: dict[str, list[FleetMismatch]] = {}
+    for entry in dedupe_mismatches(campaigns).values():
+        match = classify_mismatch(entry.mismatch)
+        key = match.bug_id if match is not None else "UNEXPLAINED"
+        groups.setdefault(key, []).append(entry)
+    return groups
+
+
+def fleet_detected_bugs(campaigns: Iterable[CampaignResult]) -> set[str]:
+    """Known bug ids evidenced anywhere in the fleet."""
+    return {
+        bug_id
+        for bug_id, entries in classify_fleet_mismatches(campaigns).items()
+        if bug_id != "UNEXPLAINED" and entries
+    }
+
+
+def fleet_bug_rows(campaigns: Iterable[CampaignResult]) -> list[list[str]]:
+    """E-BUGS detection rows: one per known bug, plus the unexplained tail.
+
+    Columns: bug id, CWE, detected?, deduped unique signatures, and the
+    campaigns that found it (per-campaign attribution).
+    """
+    campaigns = list(campaigns)
+    groups = classify_fleet_mismatches(campaigns)
+    rows: list[list[str]] = []
+    for bug_id, info in KNOWN_BUGS.items():
+        entries = groups.get(bug_id, [])
+        found_by = sorted({name for e in entries for name in e.campaigns})
+        rows.append([
+            bug_id,
+            info.cwe or "spec deviation",
+            "FOUND" if entries else "not found",
+            str(len(entries)),
+            ", ".join(found_by) if found_by else "-",
+        ])
+    unexplained = groups.get("UNEXPLAINED", [])
+    if unexplained:
+        found_by = sorted({n for e in unexplained for n in e.campaigns})
+        rows.append(["UNEXPLAINED", "-", "-", str(len(unexplained)),
+                     ", ".join(found_by)])
+    return rows
+
+
+def fleet_bug_table(campaigns: Iterable[CampaignResult],
+                    title: str = "E-BUGS: fleet detection table "
+                                 "(signatures deduped across campaigns)") -> str:
+    """The detection table as paper-style aligned text."""
+    return format_table(
+        ["bug", "cwe", "status", "unique sigs", "found by"],
+        fleet_bug_rows(campaigns),
+        title=title,
+    )

@@ -12,6 +12,11 @@
   strategy for the differential step: in-process
   :class:`~repro.fuzzing.executor.SerialExecutor` (default) or the
   process-pool :class:`~repro.fuzzing.pool.ShardedExecutor`.
+- :class:`~repro.fuzzing.fleet.FleetRunner` — whole *fleets* of campaigns
+  (declarative :class:`~repro.fuzzing.fleet.CampaignSpec` arms) sharded over
+  a process pool, budget-scheduled (:mod:`repro.fuzzing.scheduler`),
+  checkpointable, and aggregated into a
+  :class:`~repro.fuzzing.fleet.FleetResult`.
 """
 
 from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
@@ -21,24 +26,40 @@ from repro.fuzzing.executor import (
     HarnessExecutor,
     SerialExecutor,
 )
+from repro.fuzzing.fleet import (
+    CampaignSpec,
+    FleetCheckpoint,
+    FleetResult,
+    FleetRunner,
+    register_generator,
+)
 from repro.fuzzing.input import TestInput
 from repro.fuzzing.mismatch import Mismatch, MismatchDetector, counter_csr_filter
 from repro.fuzzing.pool import ShardedExecutor, default_workers
+from repro.fuzzing.scheduler import BanditScheduler, BudgetScheduler, RoundRobin
 from repro.fuzzing.simclock import SimClock
 
 __all__ = [
+    "BanditScheduler",
+    "BudgetScheduler",
     "Campaign",
     "CampaignResult",
+    "CampaignSpec",
     "CurvePoint",
     "DifferentialResult",
+    "FleetCheckpoint",
+    "FleetResult",
+    "FleetRunner",
     "FuzzLoop",
     "HarnessExecutor",
     "Mismatch",
     "MismatchDetector",
+    "RoundRobin",
     "SerialExecutor",
     "ShardedExecutor",
     "SimClock",
     "TestInput",
     "counter_csr_filter",
     "default_workers",
+    "register_generator",
 ]

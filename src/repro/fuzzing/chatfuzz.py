@@ -109,6 +109,41 @@ class FuzzLoop:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- state capture (fleet checkpoint/resume) -------------------------------
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the loop's mutable state.
+
+        The generator and detector are carried whole (both are small,
+        picklable objects — mutation corpora are lists of ints, the LLM
+        generator's model a few small arrays); coverage travels as one packed
+        :class:`~repro.rtl.bitset.Bitset`.  Restoring the snapshot into a
+        freshly-built loop of the same configuration reproduces future
+        batches exactly, which is what lets a fleet continue a campaign on
+        any worker (see ``repro.fuzzing.fleet``).
+        """
+        return {
+            "generator": self.generator,
+            "detector": self.detector,
+            "coverage": self.calculator.cumulative.hits,
+            "clock_seconds": self.clock.seconds,
+            "clock_started": self.clock.started,
+            "tests_run": self.tests_run,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse operation)."""
+        self.generator = state["generator"]
+        self.detector = state["detector"]
+        calculator = CoverageCalculator(
+            self.calculator.total_arms, batch_mode=self.calculator.batch_mode
+        )
+        calculator.cumulative.merge_bits(state["coverage"].to_int())
+        self.calculator = calculator
+        self.clock.seconds = state["clock_seconds"]
+        self.clock.started = state["clock_started"]
+        self.tests_run = state["tests_run"]
+
     # -- one batch ------------------------------------------------------------
 
     def run_batch(self) -> BatchOutcome:

@@ -1,0 +1,776 @@
+"""Campaign fleets: many campaigns, one experiment.
+
+The paper's headline artifacts (the Figure-2 coverage comparison, the
+E-BUGS detection table) are *fleets* of campaigns — ChatFuzz vs. TheHuzz
+vs. DifuzzRTL vs. random, across seeds and SoC configs — and this module
+turns the single-campaign driver into that horizontally scalable
+experiment engine:
+
+- :class:`CampaignSpec` — a declarative, fully picklable recipe for one
+  campaign arm: fuzzer kind + config (or a prebuilt generator), harness
+  factory, seed, batch size and test budget.
+- :class:`FleetRunner` — shards specs over a process pool (same lazy
+  spin-up / worker reuse / graceful shutdown / deterministic ordering
+  playbook as :mod:`repro.fuzzing.pool`).  Workers cache the expensive
+  campaign shell (harness elaboration) per spec; the *mutable* state
+  travels with each slice as a compact state dict, so any worker can
+  continue any campaign and a kill never strands state in a dead process.
+- budget scheduling — :meth:`FleetRunner.run_scheduled` allocates the
+  shared budget in slices through a pluggable
+  :class:`~repro.fuzzing.scheduler.BudgetScheduler` (round-robin baseline
+  or MABFuzz-style UCB1 bandit rewarded by new fleet-union coverage).
+- checkpoint/resume — with ``checkpoint_dir`` set, per-campaign state is
+  snapshotted as JSON (scalars + curve) + ``.cov`` bitmap + ``.pkl``
+  (generator/detector) after every round, so a killed fleet resumes
+  without losing completed slices and finishes with a result equal to an
+  uninterrupted run.
+- :class:`FleetResult` — aggregation: unions the campaigns' packed
+  ``final_coverage`` bitmaps, merges their coverage curves onto a shared
+  sim-hours epoch, and dedupes mismatch signatures across campaigns
+  (classification/attribution tables live in ``repro.analysis.fleet``).
+
+Nested-pool caveat: campaigns built from specs always run their
+differential step on a :class:`~repro.fuzzing.executor.SerialExecutor` —
+fleet workers *are* the parallelism, and a ``ShardedExecutor`` inside a
+pool worker would oversubscribe the machine (see ROADMAP's "fleet workers
+vs. harness workers" guidance).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
+from repro.fuzzing.chatfuzz import FuzzLoop
+from repro.fuzzing.executor import SerialExecutor
+from repro.fuzzing.pool import default_workers
+from repro.fuzzing.scheduler import BudgetScheduler, RoundRobin
+from repro.rtl.bitset import Bitset
+from repro.soc.harness import HarnessFactory, harness_factory
+
+#: Fuzzer kinds a spec can name without shipping a generator object.
+#: Builders are called as ``builder(seed=spec.seed, **spec.fuzzer_config)``.
+#: The baseline kinds are installed lazily by :func:`_ensure_builtin_kinds`
+#: — ``repro.baselines`` itself imports ``repro.fuzzing``, so importing it
+#: at module scope here would be circular.
+GENERATOR_KINDS: dict[str, Callable] = {}
+
+
+def _ensure_builtin_kinds() -> None:
+    if GENERATOR_KINDS.keys() >= {"thehuzz", "difuzzrtl", "random"}:
+        return
+    from repro.baselines.difuzzrtl import DifuzzRTLGenerator
+    from repro.baselines.random_regression import RandomRegressionGenerator
+    from repro.baselines.thehuzz import TheHuzzGenerator
+
+    GENERATOR_KINDS.setdefault("thehuzz", TheHuzzGenerator)
+    GENERATOR_KINDS.setdefault("difuzzrtl", DifuzzRTLGenerator)
+    GENERATOR_KINDS.setdefault("random", RandomRegressionGenerator)
+
+
+def register_generator(kind: str, builder: Callable) -> None:
+    """Register a generator builder for :attr:`CampaignSpec.fuzzer`.
+
+    ``builder`` must accept a ``seed`` keyword plus the spec's
+    ``fuzzer_config`` entries, and be importable from worker processes
+    (module-level, picklable) for pooled fleets.
+    """
+    GENERATOR_KINDS[kind] = builder
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative recipe for one campaign arm (fully picklable).
+
+    Either name a registered ``fuzzer`` kind (built per worker from
+    ``seed`` + ``fuzzer_config``) or supply a prebuilt picklable
+    ``generator`` object (the ChatFuzz path: the trained
+    ``LLMInputGenerator`` carries its own model); the generator is
+    deep-copied at build time so one spec can be built repeatedly without
+    sharing mutable fuzzer state.
+    """
+
+    name: str
+    fuzzer: str = "thehuzz"
+    fuzzer_config: dict = field(default_factory=dict)
+    #: Prebuilt generator object; overrides ``fuzzer``/``fuzzer_config``.
+    generator: object = None
+    #: HarnessFactory, or a kind string ("rocket"/"boom"); None = rocket.
+    harness: object = None
+    seed: int = 0
+    batch_size: int = 16
+    #: Test budget for whole-budget fleet runs (:meth:`FleetRunner.run`)
+    #: and the per-arm cap in scheduled runs.
+    budget_tests: int = 256
+    use_default_filters: bool = True
+
+    def __post_init__(self) -> None:
+        # Fail at spec construction, not inside a pool worker mid-run.
+        self.harness_factory()
+
+    def harness_factory(self) -> HarnessFactory:
+        """Resolve the harness field to a picklable zero-arg factory."""
+        if self.harness is None:
+            return harness_factory("rocket")
+        if isinstance(self.harness, str):
+            return harness_factory(self.harness)
+        if callable(self.harness):
+            return self.harness
+        raise TypeError(
+            f"spec {self.name!r}: harness must be a factory or kind string, "
+            f"got {type(self.harness).__name__}"
+        )
+
+    def build_generator(self):
+        """Build a fresh generator for one campaign instance."""
+        if self.generator is not None:
+            return copy.deepcopy(self.generator)
+        _ensure_builtin_kinds()
+        try:
+            builder = GENERATOR_KINDS[self.fuzzer]
+        except KeyError:
+            raise ValueError(
+                f"spec {self.name!r}: unknown fuzzer kind {self.fuzzer!r} "
+                f"(known: {sorted(GENERATOR_KINDS)}; see register_generator)"
+            ) from None
+        return builder(seed=self.seed, **self.fuzzer_config)
+
+    def build_campaign(self) -> Campaign:
+        """Materialise the campaign shell (harness elaboration happens here).
+
+        Always a :class:`SerialExecutor` inside: fleet workers are already
+        processes, so the differential step must stay in-process.
+        """
+        loop = FuzzLoop(
+            self.build_generator(),
+            self.harness_factory(),
+            batch_size=self.batch_size,
+            use_default_filters=self.use_default_filters,
+            executor=SerialExecutor(),
+        )
+        return Campaign(loop, self.name)
+
+    def fingerprint(self) -> str:
+        """Stable identity string (checkpoint compatibility guard).
+
+        A prebuilt generator contributes a content hash of its pickled
+        initial state — two fleets whose "ChatFuzz" arms were trained
+        differently must not pass as the same fleet — and a custom factory
+        its qualified name, not just ``function``.
+        """
+        factory = self.harness_factory()
+        harness_id = (
+            (factory.kind, repr(factory.params))
+            if isinstance(factory, HarnessFactory)
+            else (getattr(factory, "__module__", "?"),
+                  getattr(factory, "__qualname__", type(factory).__name__))
+        )
+        generator_id = (
+            (type(self.generator).__name__,
+             hashlib.sha256(pickle.dumps(self.generator)).hexdigest())
+            if self.generator is not None
+            else (self.fuzzer, sorted(self.fuzzer_config.items()))
+        )
+        return repr((self.name, generator_id, harness_id, self.seed,
+                     self.batch_size, self.budget_tests,
+                     self.use_default_filters))
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+@dataclass
+class FleetResult:
+    """Aggregated outcome of a fleet run (campaigns in spec order)."""
+
+    campaigns: list[CampaignResult]
+
+    @property
+    def total_tests(self) -> int:
+        return sum(c.tests_run for c in self.campaigns)
+
+    @property
+    def total_sim_hours(self) -> float:
+        """Aggregate simulator-hours (the paper's "ten VCS instances" cost
+        axis): campaigns run in parallel, so this is compute, not latency."""
+        return sum(c.sim_hours for c in self.campaigns)
+
+    def _universe(self) -> int:
+        sizes = {c.total_arms for c in self.campaigns if c.total_arms}
+        if len(sizes) > 1:
+            raise ValueError(
+                "campaigns cover different DUT universes "
+                f"({sorted(sizes)} arms); union coverage is only defined "
+                "per-universe — aggregate matching campaigns separately"
+            )
+        return sizes.pop() if sizes else 0
+
+    def union_coverage(self) -> Bitset:
+        """Union of every campaign's packed coverage bitmap (no
+        re-simulation — the whole point of carrying bitmaps in results)."""
+        universe = self._universe()
+        bits = 0
+        for campaign in self.campaigns:
+            bits |= campaign.final_coverage.to_int()
+        return Bitset(bits, universe)
+
+    @property
+    def union_percent(self) -> float:
+        universe = self._universe()
+        if universe == 0:
+            return 0.0
+        return 100.0 * len(self.union_coverage()) / universe
+
+    def merged_curve(self) -> list[CurvePoint]:
+        """The fleet's coverage trajectory on a shared sim-hours epoch.
+
+        Campaigns run in parallel and each charges its own elaboration, so
+        their clocks share one epoch; at every snapshot time the fleet's
+        coverage is the *union* of each campaign's latest bitmap (percent
+        values cannot be merged, bitmaps can).  ``tests`` accumulates the
+        fleet-wide test count at that moment.
+        """
+        universe = self._universe()
+        events = sorted(
+            ((point.sim_hours, index, point)
+             for index, campaign in enumerate(self.campaigns)
+             for point in campaign.curve),
+            key=lambda event: (event[0], event[1], event[2].tests),
+        )
+        latest_bits = [0] * len(self.campaigns)
+        latest_tests = [0] * len(self.campaigns)
+        merged: list[CurvePoint] = []
+        for position, (hours, index, point) in enumerate(events):
+            if point.hits is not None:
+                latest_bits[index] = point.hits.to_int()
+            latest_tests[index] = point.tests
+            # Emit one point per distinct time: fold simultaneous snapshots.
+            if position + 1 < len(events) and events[position + 1][0] == hours:
+                continue
+            union = 0
+            for bits in latest_bits:
+                union |= bits
+            merged.append(CurvePoint(
+                tests=sum(latest_tests),
+                sim_hours=hours,
+                coverage_percent=(
+                    100.0 * union.bit_count() / universe if universe else 0.0
+                ),
+                hits=Bitset(union, universe),
+            ))
+        return merged
+
+    @property
+    def unique_signatures(self) -> set[tuple]:
+        """Mismatch signatures deduped across campaigns (count-once view;
+        per-campaign attribution lives in ``repro.analysis.fleet``)."""
+        return {m.signature for c in self.campaigns for m in c.mismatches}
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet: {len(self.campaigns)} campaigns, "
+            f"{self.total_tests} tests, "
+            f"{self.total_sim_hours:.2f} sim-hours, "
+            f"union coverage {self.union_percent:.2f}%, "
+            f"{len(self.unique_signatures)} deduped unique mismatches",
+        ]
+        lines += [f"  {campaign.summary()}" for campaign in self.campaigns]
+        return "\n".join(lines)
+
+
+# -- worker protocol -----------------------------------------------------------
+
+#: Installed by :func:`_fleet_init` in each pool worker.
+_WORKER_SPECS: list[CampaignSpec] | None = None
+#: Campaign shells cached per spec index (harness built once per worker).
+_WORKER_CAMPAIGNS: dict[int, Campaign] = {}
+
+
+def _fleet_init(specs: list[CampaignSpec]) -> None:
+    global _WORKER_SPECS, _WORKER_CAMPAIGNS
+    _WORKER_SPECS = specs
+    _WORKER_CAMPAIGNS = {}
+
+
+def _get_campaign(specs, cache, index: int, fresh: bool) -> Campaign:
+    """The cached campaign shell for ``index`` (rebuilt when ``fresh``).
+
+    ``fresh`` marks a campaign's first-ever slice: no state will be loaded,
+    so a shell left over from an earlier fleet run on this worker must not
+    leak its state forward.
+    """
+    campaign = cache.get(index)
+    if campaign is None or fresh:
+        campaign = cache[index] = specs[index].build_campaign()
+    return campaign
+
+
+def _run_slice(campaign: Campaign, n_tests: int, state: dict | None):
+    """Continue one campaign by one slice; returns (new state, snapshot).
+
+    ``state`` is the authoritative mutable state from the parent (None only
+    for a campaign's very first slice) — the cached shell contributes only
+    the immutable, expensive parts (harness, executor), so slices of one
+    campaign may land on different workers in any order.
+    """
+    if state is not None:
+        campaign.load_state_dict(state)
+    result = campaign.run_slice(n_tests)
+    return campaign.state_dict(), result
+
+
+def _fleet_slice(index: int, n_tests: int, state: dict | None):
+    campaign = _get_campaign(_WORKER_SPECS, _WORKER_CAMPAIGNS, index,
+                             fresh=state is None)
+    return _run_slice(campaign, n_tests, state)
+
+
+# -- checkpointing -------------------------------------------------------------
+
+
+class FleetCheckpoint:
+    """JSON+bitmap snapshots of per-campaign fleet state.
+
+    Layout under ``directory`` (one set per campaign arm ``i``):
+
+    - ``campaign_<i>.json`` — human-readable scalars: tests run, sim clock,
+      coverage curve (bitmaps hex-packed per point), mismatch counters;
+    - ``campaign_<i>.cov``  — the packed cumulative coverage bitmap;
+    - ``campaign_<i>.pkl``  — the generator + detector objects (the state
+      with no faithful JSON form: RNGs, corpora, signature dicts);
+    - ``manifest.json``     — fleet-level: spec fingerprints, per-arm test
+      counts, scheduler state, rounds completed.
+
+    Torn-write safety: every file is written to a temp name and
+    ``os.replace``d (each file is all-or-nothing), the manifest is written
+    last, and all three arm artifacts carry the arm's test count (the JSON
+    directly, the pickle via a ``tests_run`` stamp, the bitmap via its
+    popcount — coverage only ever grows, so equal popcounts mean equal
+    bitmaps).  A kill between any two writes therefore leaves a mix that
+    :meth:`load_arm` detects and refuses rather than silently resuming
+    from inconsistent state.
+    """
+
+    def __init__(self, directory: Path, specs: Sequence[CampaignSpec]) -> None:
+        self.directory = Path(directory)
+        self.specs = list(specs)
+
+    def _fingerprints(self) -> list[str]:
+        return [spec.fingerprint() for spec in self.specs]
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def _arm_paths(self, index: int) -> tuple[Path, Path, Path]:
+        stem = self.directory / f"campaign_{index}"
+        return (stem.with_suffix(".json"), stem.with_suffix(".cov"),
+                stem.with_suffix(".pkl"))
+
+    # -- save ------------------------------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        """All-or-nothing file write (temp + rename): a kill mid-write can
+        never leave a truncated artifact behind."""
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_bytes(data)
+        os.replace(temp, path)
+
+    def save_arm(self, index: int, state: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        json_path, cov_path, pkl_path = self._arm_paths(index)
+        loop = state["loop"]
+        coverage: Bitset = loop["coverage"]
+        detector = loop["detector"]
+        self._write_atomic(cov_path, coverage.to_bytes())
+        self._write_atomic(pkl_path, pickle.dumps({
+            "tests_run": loop["tests_run"],  # cross-file consistency stamp
+            "generator": loop["generator"],
+            "detector": detector,
+        }))
+        document = {
+            "name": self.specs[index].name,
+            "tests_run": loop["tests_run"],
+            "clock_seconds": loop["clock_seconds"],
+            "clock_started": loop["clock_started"],
+            "total_arms": coverage.nbits,
+            "covered_arms": len(coverage),
+            "raw_mismatches": detector.raw_count,
+            "filtered_mismatches": detector.filtered_count,
+            "unique_mismatches": detector.unique_count,
+            "curve": [
+                {
+                    "tests": point.tests,
+                    "sim_hours": point.sim_hours,
+                    "coverage_percent": point.coverage_percent,
+                    "hits": (point.hits.to_bytes().hex()
+                             if point.hits is not None else None),
+                }
+                for point in (state["curve"] or [])
+            ],
+        }
+        self._write_atomic(json_path,
+                           (json.dumps(document, indent=2) + "\n").encode())
+
+    def save_manifest(self, states: dict[int, dict],
+                      scheduler: BudgetScheduler | None,
+                      rounds: int) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "fingerprints": self._fingerprints(),
+            "rounds": rounds,
+            "arms": {
+                str(index): {"tests_run": state["loop"]["tests_run"]}
+                for index, state in states.items()
+            },
+            "scheduler": scheduler.state_dict() if scheduler else None,
+        }
+        self._write_atomic(self.manifest_path,
+                           (json.dumps(manifest, indent=2) + "\n").encode())
+
+    # -- load ------------------------------------------------------------------
+
+    def load(self) -> dict | None:
+        """The manifest, or None when no checkpoint exists yet.
+
+        Raises on a spec mismatch (the checkpoint belongs to a different
+        fleet) — resuming someone else's state silently would be worse.
+        """
+        if not self.manifest_path.exists():
+            return None
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest["fingerprints"] != self._fingerprints():
+            raise ValueError(
+                f"checkpoint at {self.directory} was written for different "
+                "campaign specs; point the fleet at a fresh directory or "
+                "delete the stale checkpoint"
+            )
+        return manifest
+
+    def load_arm(self, index: int, expected_tests: int) -> dict:
+        json_path, cov_path, pkl_path = self._arm_paths(index)
+        document = json.loads(json_path.read_text())
+
+        def torn(artifact: str, found) -> ValueError:
+            return ValueError(
+                f"torn checkpoint for arm {index}: manifest says "
+                f"{expected_tests} tests, {artifact} says {found} — "
+                f"delete {self.directory} and rerun"
+            )
+
+        if document["tests_run"] != expected_tests:
+            raise torn(json_path.name, document["tests_run"])
+        total_arms = document["total_arms"]
+        coverage = Bitset.from_bytes(cov_path.read_bytes(), total_arms)
+        # Coverage grows monotonically, so a bitmap from any other round
+        # has a different popcount — this pins .cov to the JSON's round.
+        if len(coverage) != document["covered_arms"]:
+            raise torn(cov_path.name, f"{len(coverage)} covered arms")
+        with pkl_path.open("rb") as fh:
+            opaque = pickle.load(fh)
+        if opaque["tests_run"] != expected_tests:
+            raise torn(pkl_path.name, opaque["tests_run"])
+        curve = [
+            CurvePoint(
+                tests=point["tests"],
+                sim_hours=point["sim_hours"],
+                coverage_percent=point["coverage_percent"],
+                hits=(Bitset.from_bytes(bytes.fromhex(point["hits"]),
+                                        total_arms)
+                      if point["hits"] is not None else None),
+            )
+            for point in document["curve"]
+        ]
+        return {
+            "loop": {
+                "generator": opaque["generator"],
+                "detector": opaque["detector"],
+                "coverage": coverage,
+                "clock_seconds": document["clock_seconds"],
+                "clock_started": document["clock_started"],
+                "tests_run": document["tests_run"],
+            },
+            "curve": curve or None,
+        }
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+class FleetRunner:
+    """Runs a fleet of campaign specs, optionally sharded over a process
+    pool and scheduled by a budget policy (see module docstring).
+
+    Parameters
+    ----------
+    specs:
+        The campaign arms, in result order.  Names must be unique (they key
+        cross-campaign mismatch attribution).
+    n_workers:
+        ``0`` runs everything in-process (deterministic and pool-free — the
+        right mode for tests and one-core machines); ``N >= 1`` shards
+        slices over ``N`` worker processes.  Defaults to the machine's core
+        count.  Results are identical across modes (for scheduled runs, at
+        equal ``concurrent_slices``): state travels with each slice, so
+        placement never affects behaviour.
+    checkpoint_dir:
+        Enables :class:`FleetCheckpoint` snapshots (written after every
+        completed slice/round) and resume-on-construction: an existing
+        compatible checkpoint is loaded and completed work is not redone.
+    """
+
+    def __init__(self, specs: Sequence[CampaignSpec],
+                 n_workers: int | None = None,
+                 checkpoint_dir: str | Path | None = None) -> None:
+        self.specs = list(specs)
+        if not self.specs:
+            raise ValueError("a fleet needs at least one campaign spec")
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"campaign names must be unique, got {names}")
+        self.n_workers = default_workers() if n_workers is None else n_workers
+        if self.n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        self.checkpoint = (
+            FleetCheckpoint(Path(checkpoint_dir), self.specs)
+            if checkpoint_dir is not None else None
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._local_campaigns: dict[int, Campaign] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("FleetRunner is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_fleet_init,
+                initargs=(self.specs,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent); in-process shells stay."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "FleetRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch(self, jobs: list[tuple[int, int, dict | None]]):
+        """Run (index, n_tests, state) jobs; results in job order."""
+        if self._closed:
+            raise RuntimeError("FleetRunner is closed")
+        if self.n_workers == 0:
+            outputs = []
+            for index, n_tests, state in jobs:
+                campaign = _get_campaign(
+                    self.specs, self._local_campaigns, index,
+                    fresh=state is None,
+                )
+                outputs.append(_run_slice(campaign, n_tests, state))
+            return outputs
+        pool = self._ensure_pool()
+        futures = [pool.submit(_fleet_slice, index, n_tests, state)
+                   for index, n_tests, state in jobs]
+        outputs = []
+        try:
+            for future in futures:
+                outputs.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return outputs
+
+    # -- checkpoint plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _state_tests(state: dict | None) -> int:
+        return 0 if state is None else state["loop"]["tests_run"]
+
+    def _load_states(self, scheduler: BudgetScheduler | None):
+        """(states, rounds) from the checkpoint, or fresh when absent."""
+        states: dict[int, dict] = {}
+        if self.checkpoint is None:
+            return states, 0
+        manifest = self.checkpoint.load()
+        if manifest is None:
+            return states, 0
+        for key, arm in manifest["arms"].items():
+            states[int(key)] = self.checkpoint.load_arm(
+                int(key), arm["tests_run"]
+            )
+        if scheduler is not None and manifest["scheduler"] is not None:
+            scheduler.load_state_dict(manifest["scheduler"])
+        return states, manifest["rounds"]
+
+    def _save_round(self, states: dict[int, dict],
+                    scheduler: BudgetScheduler | None, rounds: int,
+                    dirty: Sequence[int]) -> None:
+        if self.checkpoint is None:
+            return
+        for index in dirty:
+            self.checkpoint.save_arm(index, states[index])
+        self.checkpoint.save_manifest(states, scheduler, rounds)
+
+    @staticmethod
+    def _result_from_state(name: str, state: dict) -> CampaignResult:
+        """Rebuild the result snapshot a finished slice would have returned
+        (field-for-field identical to ``Campaign._finalize`` output)."""
+        loop = state["loop"]
+        coverage: Bitset = loop["coverage"]
+        detector = loop["detector"]
+        # Same association order as CumulativeCoverage.percent, so rebuilt
+        # results compare bit-identical to live ones.
+        percent = (100.0 * (len(coverage) / coverage.nbits)
+                   if coverage.nbits else 0.0)
+        return CampaignResult(
+            name=name,
+            curve=list(state["curve"] or []),
+            tests_run=loop["tests_run"],
+            sim_hours=loop["clock_seconds"] / 3600.0,
+            final_coverage_percent=percent,
+            raw_mismatches=detector.raw_count,
+            unique_mismatches=detector.unique_count,
+            final_coverage=coverage,
+            mismatches=list(detector.unique.values()),
+        )
+
+    # -- entry points ----------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Run every spec to its full ``budget_tests`` (one slice each).
+
+        The basic sharding mode: N independent campaigns spread over the
+        pool, gathered in spec order.  With a checkpoint, arms that already
+        reached their budget are not re-run.
+        """
+        states, rounds = self._load_states(scheduler=None)
+        jobs = []
+        for index, spec in enumerate(self.specs):
+            remaining = spec.budget_tests - self._state_tests(states.get(index))
+            if remaining > 0:
+                jobs.append((index, remaining, states.get(index)))
+        outputs = self._dispatch(jobs)
+        results: dict[int, CampaignResult] = {}
+        for (index, _, _), (state, result) in zip(jobs, outputs):
+            states[index] = state
+            results[index] = result
+        self._save_round(states, None, rounds + 1,
+                         dirty=[index for index, _, _ in jobs])
+        for index, spec in enumerate(self.specs):
+            if index not in results:  # completed in a previous run (or n=0)
+                results[index] = (
+                    self._result_from_state(spec.name, states[index])
+                    if index in states else CampaignResult(name=spec.name)
+                )
+        return FleetResult([results[i] for i in range(len(self.specs))])
+
+    def run_scheduled(self, scheduler: BudgetScheduler | None = None,
+                      slice_tests: int = 64,
+                      total_tests: int | None = None,
+                      target_percent: float | None = None,
+                      concurrent_slices: int | None = None) -> FleetResult:
+        """Allocate the budget in slices via ``scheduler`` (MABFuzz-style).
+
+        Each round the scheduler picks up to ``concurrent_slices`` distinct
+        arms (default: the worker count); their slices run concurrently,
+        then the scheduler is updated in pick order with each slice's
+        reward — the arm's *new* contribution to the fleet-wide coverage
+        union, normalised by the universe size.  Rounds are deterministic
+        for a given configuration regardless of worker timing.
+
+        Stops when every arm reached its ``budget_tests``, the fleet spent
+        ``total_tests`` (checked at slice granularity — batch rounding may
+        overshoot slightly), or union coverage reached ``target_percent``.
+        """
+        scheduler = scheduler if scheduler is not None else RoundRobin()
+        scheduler.bind(len(self.specs))
+        states, rounds = self._load_states(scheduler)
+        concurrency = (concurrent_slices if concurrent_slices is not None
+                       else max(1, self.n_workers))
+        union_bits = 0
+        universe = 0
+        for state in states.values():
+            coverage: Bitset = state["loop"]["coverage"]
+            union_bits |= coverage.to_int()
+            universe = max(universe, coverage.nbits)
+        spent = sum(self._state_tests(s) for s in states.values())
+
+        def target_reached() -> bool:
+            return (target_percent is not None and universe > 0
+                    and 100.0 * union_bits.bit_count() / universe
+                    >= target_percent)
+
+        while True:
+            if target_reached():
+                break
+            if total_tests is not None and spent >= total_tests:
+                break
+            available = {
+                index for index, spec in enumerate(self.specs)
+                if self._state_tests(states.get(index)) < spec.budget_tests
+            }
+            if not available:
+                break
+            picks: list[tuple[int, int]] = []
+            budget_left = (None if total_tests is None
+                           else total_tests - spent)
+            while available and len(picks) < concurrency:
+                if budget_left is not None and budget_left <= 0:
+                    break
+                arm = scheduler.select(sorted(available))
+                available.discard(arm)
+                spec = self.specs[arm]
+                n_tests = min(
+                    slice_tests,
+                    spec.budget_tests - self._state_tests(states.get(arm)),
+                )
+                if budget_left is not None:
+                    n_tests = min(n_tests, budget_left)
+                    budget_left -= n_tests
+                picks.append((arm, n_tests))
+            if not picks:
+                break
+            outputs = self._dispatch(
+                [(arm, n_tests, states.get(arm)) for arm, n_tests in picks]
+            )
+            for (arm, _), (state, result) in zip(picks, outputs):
+                ran = result.tests_run - self._state_tests(states.get(arm))
+                spent += ran
+                states[arm] = state
+                bits = result.final_coverage.to_int()
+                gained = (bits & ~union_bits).bit_count()
+                union_bits |= bits
+                universe = max(universe, result.final_coverage.nbits)
+                reward = gained / universe if universe else 0.0
+                scheduler.update(arm, ran, reward)
+            rounds += 1
+            self._save_round(states, scheduler, rounds,
+                             dirty=[arm for arm, _ in picks])
+        return FleetResult([
+            self._result_from_state(spec.name, states[index])
+            if index in states
+            else CampaignResult(name=spec.name)
+            for index, spec in enumerate(self.specs)
+        ])

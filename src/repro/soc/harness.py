@@ -165,6 +165,25 @@ class HarnessFactory:
         raise ValueError(f"unknown harness kind: {self.kind!r}")
 
 
+#: Harness kinds a :class:`HarnessFactory` can build (CampaignSpec wiring).
+HARNESS_KINDS = ("rocket", "boom")
+
+
+def harness_factory(kind: str = "rocket", params=None) -> HarnessFactory:
+    """Picklable factory for any known harness kind.
+
+    The generic entry point fleet specs use
+    (:class:`repro.fuzzing.fleet.CampaignSpec` accepts a kind string and
+    resolves it here), validating the kind at spec-build time rather than
+    inside a worker process.
+    """
+    if kind not in HARNESS_KINDS:
+        raise ValueError(
+            f"unknown harness kind: {kind!r} (expected one of {HARNESS_KINDS})"
+        )
+    return HarnessFactory(kind, params)
+
+
 def rocket_harness_factory(params=None) -> HarnessFactory:
     """Picklable factory for :func:`make_rocket_harness`."""
     return HarnessFactory("rocket", params)

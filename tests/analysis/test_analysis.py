@@ -1,4 +1,4 @@
-"""Bug classification and report formatting."""
+"""Bug classification, cross-campaign dedup/attribution, report formatting."""
 
 from repro.analysis.bugs import (
     KNOWN_BUGS,
@@ -6,7 +6,14 @@ from repro.analysis.bugs import (
     classify_mismatches,
     detected_bugs,
 )
+from repro.analysis.fleet import (
+    dedupe_mismatches,
+    fleet_bug_rows,
+    fleet_bug_table,
+    fleet_detected_bugs,
+)
 from repro.analysis.report import format_table
+from repro.fuzzing.campaign import CampaignResult
 from repro.fuzzing.mismatch import Mismatch
 
 
@@ -72,6 +79,62 @@ class TestGrouping:
         assert set(KNOWN_BUGS) == {
             "BUG1", "BUG2", "FINDING1", "FINDING2", "FINDING3"
         }
+
+
+def campaign(name, *mismatches):
+    return CampaignResult(name=name, mismatches=list(mismatches))
+
+
+class TestFleetDedup:
+    """Satellite pin: identical signatures found by different campaigns
+    count once in the E-BUGS table, with per-campaign attribution kept."""
+
+    def test_identical_signatures_count_once(self):
+        shared = mismatch("rd_missing", "mul")
+        deduped = dedupe_mismatches([
+            campaign("chatfuzz", shared, mismatch("instr_word", "addi")),
+            campaign("thehuzz", shared),
+        ])
+        assert len(deduped) == 2
+        assert deduped[shared.signature].campaigns == ("chatfuzz", "thehuzz")
+        assert deduped[("instr_word", "addi")].campaigns == ("chatfuzz",)
+
+    def test_same_campaign_listed_once(self):
+        # Two distinct Mismatch objects, same signature, same campaign.
+        deduped = dedupe_mismatches([
+            campaign("solo", mismatch("rd_missing", "mul"),
+                     Mismatch("rd_missing", 3, 8, "later hit",
+                              ("rd_missing", "mul"))),
+        ])
+        assert deduped[("rd_missing", "mul")].campaigns == ("solo",)
+
+    def test_fleet_detected_bugs_unions_campaigns(self):
+        results = [
+            campaign("a", mismatch("instr_word", "addi")),
+            campaign("b", mismatch("rd_spurious_x0", "jalr")),
+        ]
+        assert fleet_detected_bugs(results) == {"BUG1", "FINDING3"}
+
+    def test_bug_rows_dedupe_and_attribute(self):
+        shared = mismatch("rd_missing", "mul")
+        results = [
+            campaign("chatfuzz", shared, mismatch("rd_missing", "div")),
+            campaign("thehuzz", shared),
+            campaign("random", mismatch("rd_value", "add")),
+        ]
+        rows = {row[0]: row for row in fleet_bug_rows(results)}
+        # BUG2: 'mul' signature counted once despite two finders.
+        assert rows["BUG2"][2] == "FOUND"
+        assert rows["BUG2"][3] == "2"  # mul + div signatures
+        assert rows["BUG2"][4] == "chatfuzz, thehuzz"
+        assert rows["BUG1"][2] == "not found"
+        assert rows["UNEXPLAINED"][3] == "1"
+        assert rows["UNEXPLAINED"][4] == "random"
+
+    def test_bug_table_renders(self):
+        table = fleet_bug_table([campaign("a", mismatch("instr_word", "x"))])
+        assert "BUG1" in table and "FOUND" in table
+        assert table.splitlines()[0].startswith("E-BUGS")
 
 
 class TestReport:

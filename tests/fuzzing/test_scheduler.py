@@ -1,0 +1,118 @@
+"""Budget schedulers: round-robin cycling, UCB1 math, checkpoint state."""
+
+import math
+
+import pytest
+
+from repro.fuzzing.scheduler import BanditScheduler, BudgetScheduler, RoundRobin
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        rr = RoundRobin()
+        rr.bind(3)
+        picks = [rr.select([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_ineligible_arms(self):
+        rr = RoundRobin()
+        rr.bind(4)
+        assert rr.select([0, 1, 2, 3]) == 0
+        # Arm 1 exhausted its budget: the cursor passes over it.
+        assert rr.select([0, 2, 3]) == 2
+        assert rr.select([0, 2, 3]) == 3
+        assert rr.select([0, 2, 3]) == 0
+
+    def test_empty_eligible_raises(self):
+        rr = RoundRobin()
+        rr.bind(2)
+        with pytest.raises(ValueError, match="no eligible"):
+            rr.select([])
+
+    def test_state_roundtrip_continues_sequence(self):
+        rr = RoundRobin()
+        rr.bind(3)
+        rr.select([0, 1, 2])
+        clone = RoundRobin()
+        clone.bind(3)
+        clone.load_state_dict(rr.state_dict())
+        assert clone.select([0, 1, 2]) == rr.select([0, 1, 2])
+
+
+class TestBanditScheduler:
+    def make(self, rewards, exploration=1.0):
+        """A bound bandit that has already observed one pull per arm."""
+        bandit = BanditScheduler(exploration=exploration)
+        bandit.bind(len(rewards))
+        for arm, reward in enumerate(rewards):
+            bandit.update(arm, tests=1, reward=reward)
+        return bandit
+
+    def test_plays_every_arm_once_first(self):
+        bandit = BanditScheduler()
+        bandit.bind(3)
+        picks = []
+        for _ in range(3):
+            arm = bandit.select([0, 1, 2])
+            picks.append(arm)
+            bandit.update(arm, tests=1, reward=0.0)
+        assert picks == [0, 1, 2]
+
+    def test_exploits_the_best_arm(self):
+        bandit = self.make([0.1, 0.9, 0.1], exploration=0.1)
+        assert bandit.select([0, 1, 2]) == 1
+
+    def test_ucb_formula(self):
+        bandit = self.make([0.2, 0.8])
+        plays = sum(bandit.counts)
+        scores = [
+            bandit.totals[a] / bandit.counts[a]
+            + math.sqrt(2 * math.log(plays) / bandit.counts[a])
+            for a in (0, 1)
+        ]
+        assert bandit.select([0, 1]) == scores.index(max(scores))
+
+    def test_exploration_term_revisits_starved_arms(self):
+        # Arm 0 looks best but has been pulled many times; with a large
+        # exploration constant the confidence bound sends us back to arm 1.
+        bandit = self.make([0.5, 0.4], exploration=5.0)
+        for _ in range(20):
+            bandit.update(0, tests=1, reward=0.5)
+        assert bandit.select([0, 1]) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        bandit = self.make([0.3, 0.3, 0.3])
+        assert bandit.select([0, 1, 2]) == 0
+        assert bandit.select([1, 2]) == 1
+
+    def test_respects_eligibility(self):
+        bandit = self.make([0.1, 0.9, 0.5], exploration=0.1)
+        assert bandit.select([0, 2]) == 2
+
+    def test_state_roundtrip(self):
+        bandit = self.make([0.2, 0.7])
+        clone = BanditScheduler()
+        clone.bind(2)
+        clone.load_state_dict(bandit.state_dict())
+        assert clone.counts == bandit.counts
+        assert clone.totals == bandit.totals
+        assert clone.select([0, 1]) == bandit.select([0, 1])
+
+    def test_state_dict_is_json_compatible(self):
+        import json
+
+        bandit = self.make([0.2, 0.7])
+        assert json.loads(json.dumps(bandit.state_dict())) == \
+            bandit.state_dict()
+
+    def test_bind_validates(self):
+        with pytest.raises(ValueError):
+            BanditScheduler().bind(0)
+
+    def test_base_protocol_defaults(self):
+        scheduler = BudgetScheduler()
+        scheduler.bind(2)
+        scheduler.update(0, tests=1, reward=0.5)  # no-op
+        scheduler.load_state_dict(scheduler.state_dict())
+        with pytest.raises(NotImplementedError):
+            scheduler.select([0, 1])
