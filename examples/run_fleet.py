@@ -10,8 +10,8 @@ coverage, a merged coverage curve on the shared sim-hours epoch, and the
 cross-campaign E-BUGS detection table with per-campaign attribution.
 
 Run:  python examples/run_fleet.py [--tests N] [--workers W]
-          [--scheduler none|roundrobin|bandit] [--slice N]
-          [--checkpoint DIR] [--seeds K] [--no-chatfuzz]
+          [--scheduler none|roundrobin|bandit] [--mode rounds|streaming]
+          [--slice N] [--checkpoint DIR] [--seeds K] [--no-chatfuzz]
 
 Useful shapes:
 
@@ -20,6 +20,10 @@ Useful shapes:
   inside fleet workers always simulate serially).
 - ``--scheduler bandit`` spends the shared budget where new coverage is
   still being found instead of splitting it evenly.
+- ``--scheduler roundrobin --mode streaming --workers 4`` keeps all four
+  workers saturated: slices are dispatched as workers free up instead of
+  waiting at round barriers (see ``--mode`` help for the determinism
+  tradeoff).
 - ``--checkpoint DIR`` makes the run resumable: kill it, rerun the same
   command, and completed slices are not redone.
 """
@@ -28,7 +32,7 @@ import argparse
 import pickle
 from pathlib import Path
 
-from repro.analysis.fleet import fleet_bug_table
+from repro.analysis.fleet import fleet_bug_table, fleet_stats_table
 from repro.analysis.report import format_table
 from repro.fuzzing.fleet import CampaignSpec, FleetRunner
 from repro.fuzzing.scheduler import BanditScheduler, RoundRobin
@@ -48,6 +52,19 @@ parser.add_argument("--scheduler", choices=("none", "roundrobin", "bandit"),
                     default="none",
                     help="budget scheduling: none = every arm runs its whole "
                          "budget; roundrobin/bandit allocate slices")
+parser.add_argument("--mode", choices=("rounds", "streaming"),
+                    default="rounds",
+                    help="scheduled dispatch (needs --scheduler "
+                         "roundrobin|bandit): 'rounds' synchronises slices "
+                         "at round barriers and is bit-for-bit reproducible "
+                         "run to run; 'streaming' dispatches a new slice "
+                         "the moment a worker frees up, so workers never "
+                         "idle — each campaign's own trajectory stays "
+                         "deterministic, but the slice interleaving (and "
+                         "therefore the bandit's allocation under shared "
+                         "caps) varies run to run on a worker pool.  With "
+                         "--scheduler none, fleet.run() already streams "
+                         "per-campaign checkpoints as arms finish")
 parser.add_argument("--slice", type=int, default=40, metavar="N",
                     dest="slice_tests", help="tests per scheduler slice")
 parser.add_argument("--checkpoint", metavar="DIR", default=None,
@@ -106,9 +123,9 @@ if not args.no_chatfuzz:
         for k, generator in enumerate(generators)
     ]
 
-mode = f"{args.workers} campaign workers" if args.workers else "in-process"
+placement = f"{args.workers} campaign workers" if args.workers else "in-process"
 print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests "
-      f"({mode}, scheduler={args.scheduler})\n")
+      f"({placement}, scheduler={args.scheduler}, mode={args.mode})\n")
 
 with FleetRunner(specs, n_workers=args.workers,
                  checkpoint_dir=args.checkpoint) as fleet:
@@ -118,9 +135,13 @@ with FleetRunner(specs, n_workers=args.workers,
         scheduler = (RoundRobin() if args.scheduler == "roundrobin"
                      else BanditScheduler(exploration=0.1))
         result = fleet.run_scheduled(scheduler,
-                                     slice_tests=args.slice_tests)
+                                     slice_tests=args.slice_tests,
+                                     mode=args.mode)
+    stats = fleet.last_stats
 
 print(result.summary())
+print()
+print(fleet_stats_table({"this run": stats}))
 
 names = [spec.name for spec in specs]
 rows = []

@@ -3,8 +3,8 @@
 - :mod:`repro.analysis.bugs` — maps unique mismatches to the paper's named
   findings (Bug1/CWE-1202, Bug2/CWE-440, Findings 1–3).
 - :mod:`repro.analysis.fleet` — cross-campaign views: mismatch signatures
-  deduped across a fleet with per-campaign attribution, and the fleet-level
-  E-BUGS detection table.
+  deduped across a fleet with per-campaign attribution, the fleet-level
+  E-BUGS detection table, and the dispatch throughput/utilisation table.
 - :mod:`repro.analysis.report` — plain-text tables used by the benchmark
   harness to print paper-style result rows.
 """
@@ -15,6 +15,7 @@ from repro.analysis.fleet import (
     dedupe_mismatches,
     fleet_bug_table,
     fleet_detected_bugs,
+    fleet_stats_table,
 )
 from repro.analysis.report import format_table
 
@@ -26,5 +27,6 @@ __all__ = [
     "dedupe_mismatches",
     "fleet_bug_table",
     "fleet_detected_bugs",
+    "fleet_stats_table",
     "format_table",
 ]

@@ -11,11 +11,12 @@ interesting per-fuzzer result: did the weaker feedback still find Bug1?).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.analysis.bugs import KNOWN_BUGS, classify_mismatch
 from repro.analysis.report import format_table
 from repro.fuzzing.campaign import CampaignResult
+from repro.fuzzing.fleet import FleetStats
 from repro.fuzzing.mismatch import Mismatch
 
 
@@ -102,6 +103,42 @@ def fleet_bug_rows(campaigns: Iterable[CampaignResult]) -> list[list[str]]:
         rows.append(["UNEXPLAINED", "-", "-", str(len(unexplained)),
                      ", ".join(found_by)])
     return rows
+
+
+def fleet_stats_rows(stats: Mapping[str, FleetStats]) -> list[list[str]]:
+    """Dispatch-accounting rows, one per labelled run (label -> stats).
+
+    Columns: label, mode, worker slots, tests, tests/sec (wall), and
+    worker utilisation (busy-time / wall-time per slot) — the metric the
+    streaming runtime improves.  A ``~`` marks utilisation on single-slot
+    runs, where it is near 1.0 by construction and says nothing about
+    dispatch quality.
+    """
+    rows: list[list[str]] = []
+    for label, stat in stats.items():
+        tps = (stat.tests / stat.wall_seconds
+               if stat.wall_seconds > 0 else 0.0)
+        single = "~" if stat.worker_slots == 1 else ""
+        rows.append([
+            label,
+            stat.mode,
+            str(stat.worker_slots),
+            str(stat.tests),
+            f"{tps:.1f}",
+            f"{single}{stat.utilisation:.2f}",
+        ])
+    return rows
+
+
+def fleet_stats_table(stats: Mapping[str, FleetStats],
+                      title: str = "fleet dispatch: throughput and worker "
+                                   "utilisation") -> str:
+    """The dispatch accounting as an aligned text table."""
+    return format_table(
+        ["run", "mode", "slots", "tests", "tests/sec", "utilisation"],
+        fleet_stats_rows(stats),
+        title=title,
+    )
 
 
 def fleet_bug_table(campaigns: Iterable[CampaignResult],

@@ -14,9 +14,11 @@
   process-pool :class:`~repro.fuzzing.pool.ShardedExecutor`.
 - :class:`~repro.fuzzing.fleet.FleetRunner` — whole *fleets* of campaigns
   (declarative :class:`~repro.fuzzing.fleet.CampaignSpec` arms) sharded over
-  a process pool, budget-scheduled (:mod:`repro.fuzzing.scheduler`),
+  a process pool, budget-scheduled (:mod:`repro.fuzzing.scheduler`) in
+  barrier-synchronised rounds or as an event-driven stream of slices,
   checkpointable, and aggregated into a
-  :class:`~repro.fuzzing.fleet.FleetResult`.
+  :class:`~repro.fuzzing.fleet.FleetResult` (dispatch accounting in
+  :class:`~repro.fuzzing.fleet.FleetStats`).
 """
 
 from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
@@ -31,6 +33,7 @@ from repro.fuzzing.fleet import (
     FleetCheckpoint,
     FleetResult,
     FleetRunner,
+    FleetStats,
     register_generator,
 )
 from repro.fuzzing.input import TestInput
@@ -50,6 +53,7 @@ __all__ = [
     "FleetCheckpoint",
     "FleetResult",
     "FleetRunner",
+    "FleetStats",
     "FuzzLoop",
     "HarnessExecutor",
     "Mismatch",

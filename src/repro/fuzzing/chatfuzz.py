@@ -14,6 +14,18 @@ Per batch:
    total) and the scores are fed back to the generator via ``observe`` —
    mutation fuzzers use them for corpus selection; the LLM generator may use
    them for online PPO.
+
+Pipelined mode (``FuzzLoop(..., pipeline=True)``) overlaps stage 1 of batch
+N+1 with stage 2 of batch N: generation is CPU-bound numpy decode in the
+parent process, execution runs on the executor (a process pool for
+:class:`~repro.fuzzing.pool.ShardedExecutor`), so the two use disjoint
+resources.  Each ``run_batch`` call still folds exactly one batch into
+campaign state and ``observe`` still sees whole batches in submission
+order; the one semantic shift is a one-batch feedback lag — batch N+1 is
+generated *before* batch N's scores reach ``observe`` — so feedback-free
+generators are byte-identical to synchronous mode while feedback-driven
+ones learn from a stream delayed by one batch (pinned by
+``tests/fuzzing/test_pipeline.py``).
 """
 
 from __future__ import annotations
@@ -67,6 +79,16 @@ class FuzzLoop:
         executor=ShardedExecutor(n_workers=4))`` just works.  Whatever the
         strategy, per-test results reach the calculator, detector and
         generator feedback in submission order, identical to serial.
+    pipeline:
+        Overlap generation of batch N+1 with execution of batch N via the
+        executor's ``submit_batch``/``collect`` split (see module
+        docstring).  With a :class:`SerialExecutor` the split defers
+        execution to collect time, so the loop degenerates to the
+        synchronous path; the overlap only buys wall-clock with a
+        pool-backed executor.  A pipelined loop keeps one generated batch
+        in flight between ``run_batch`` calls — :meth:`drain` folds it,
+        :meth:`close` discards it, and :meth:`state_dict` refuses to
+        snapshot around it.
     """
 
     def __init__(
@@ -78,6 +100,7 @@ class FuzzLoop:
         use_default_filters: bool = True,
         scorer: CoverageScorer | None = None,
         executor: HarnessExecutor | None = None,
+        pipeline: bool = False,
     ) -> None:
         self.generator = generator
         if executor is None:
@@ -86,6 +109,7 @@ class FuzzLoop:
             executor.bind(harness)
         self.executor = executor
         self.batch_size = batch_size
+        self.pipeline = pipeline
         self.clock = clock or SimClock()
         self.calculator = CoverageCalculator(executor.total_arms, batch_mode=True)
         self.scorer = scorer or CoverageScorer()
@@ -93,6 +117,8 @@ class FuzzLoop:
             filters=[counter_csr_filter] if use_default_filters else []
         )
         self.tests_run = 0
+        #: Pipelined mode's prefetched batch: (inputs, executor handle).
+        self._inflight: tuple[list[TestInput], object] | None = None
 
     @property
     def harness(self):
@@ -100,7 +126,15 @@ class FuzzLoop:
         return getattr(self.executor, "harness", None)
 
     def close(self) -> None:
-        """Release executor resources (worker processes, for pooled runs)."""
+        """Release executor resources (worker processes, for pooled runs).
+
+        Idempotent, and safe with a pipelined batch still in flight: the
+        prefetch is discarded (its results are never folded, so campaign
+        state stays consistent) and the executor's own close cancels or
+        drains any worker-side chunks.  Call :meth:`drain` first to keep
+        the prefetched batch instead.
+        """
+        self._inflight = None
         self.executor.close()
 
     def __enter__(self) -> "FuzzLoop":
@@ -122,6 +156,11 @@ class FuzzLoop:
         batches exactly, which is what lets a fleet continue a campaign on
         any worker (see ``repro.fuzzing.fleet``).
         """
+        if self._inflight is not None:
+            raise RuntimeError(
+                "a pipelined batch is in flight; drain() the loop before "
+                "snapshotting — the prefetch is not part of the state dict"
+            )
         return {
             "generator": self.generator,
             "detector": self.detector,
@@ -146,16 +185,60 @@ class FuzzLoop:
 
     # -- one batch ------------------------------------------------------------
 
-    def run_batch(self) -> BatchOutcome:
+    def _generate_inputs(self) -> list[TestInput]:
         bodies = self.generator.generate_batch(self.batch_size)
-        inputs = [
+        return [
             body if isinstance(body, TestInput) else TestInput(list(body))
             for body in bodies
         ]
-        # Simulate the whole batch first (possibly sharded over workers) and
-        # only then fold results into campaign state, so a failed batch
-        # leaves tests_run / coverage / mismatch accounting untouched.
-        results = self.executor.run_batch([test.words for test in inputs])
+
+    def _submit(self) -> tuple[list[TestInput], object]:
+        inputs = self._generate_inputs()
+        return inputs, self.executor.submit_batch(
+            [test.words for test in inputs]
+        )
+
+    def run_batch(self) -> BatchOutcome:
+        if not self.pipeline:
+            inputs = self._generate_inputs()
+            # Simulate the whole batch first (possibly sharded over workers)
+            # and only then fold results into campaign state, so a failed
+            # batch leaves tests_run / coverage / mismatch accounting
+            # untouched.
+            results = self.executor.run_batch(
+                [test.words for test in inputs]
+            )
+            return self._fold(inputs, results)
+        # Pipelined: batch N is already in flight (or submitted now, on the
+        # first call); prefetch batch N+1 so the executor's workers simulate
+        # N while the parent generates N+1, then collect and fold N.
+        inflight = self._inflight if self._inflight is not None \
+            else self._submit()
+        self._inflight = None  # a collect failure must not be re-collected
+        next_inflight = self._submit()
+        try:
+            results = self.executor.collect(inflight[1])
+        except BaseException:
+            self._inflight = next_inflight  # keep the healthy prefetch
+            raise
+        self._inflight = next_inflight
+        return self._fold(inflight[0], results)
+
+    def drain(self) -> BatchOutcome | None:
+        """Collect and fold the pipelined in-flight batch, if any.
+
+        Returns its :class:`BatchOutcome` (``None`` when nothing is in
+        flight).  After draining, the loop has no prefetch outstanding, so
+        :meth:`state_dict` is valid again and a sync/pipelined pair that
+        folded the same number of batches is directly comparable.
+        """
+        if self._inflight is None:
+            return None
+        inputs, handle = self._inflight
+        self._inflight = None
+        return self._fold(inputs, self.executor.collect(handle))
+
+    def _fold(self, inputs: list[TestInput], results) -> BatchOutcome:
         mismatches = 0
         for res in results:
             mismatches += len(

@@ -18,11 +18,18 @@ experiment engine:
 - budget scheduling — :meth:`FleetRunner.run_scheduled` allocates the
   shared budget in slices through a pluggable
   :class:`~repro.fuzzing.scheduler.BudgetScheduler` (round-robin baseline
-  or MABFuzz-style UCB1 bandit rewarded by new fleet-union coverage).
+  or MABFuzz-style UCB1 bandit rewarded by new fleet-union coverage), in
+  one of two dispatch modes: ``"rounds"`` (barrier-synchronised, fully
+  deterministic) or ``"streaming"`` (futures-based — each slice is folded
+  into the fleet union, fed to the scheduler and replaced by the next
+  dispatch the moment it completes, so workers never idle at a round
+  barrier; see the determinism contract on :meth:`FleetRunner.
+  run_scheduled`).
 - checkpoint/resume — with ``checkpoint_dir`` set, per-campaign state is
   snapshotted as JSON (scalars + curve) + ``.cov`` bitmap + ``.pkl``
-  (generator/detector) after every round, so a killed fleet resumes
-  without losing completed slices and finishes with a result equal to an
+  (generator/detector) incrementally, as each slice completes (round mode
+  batches the writes at its barrier), so a killed fleet resumes without
+  losing completed slices and finishes with a result equal to an
   uninterrupted run.
 - :class:`FleetResult` — aggregation: unions the campaigns' packed
   ``final_coverage`` bitmaps, merges their coverage curves onto a shared
@@ -43,7 +50,13 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -146,8 +159,10 @@ class CampaignSpec:
     def build_campaign(self) -> Campaign:
         """Materialise the campaign shell (harness elaboration happens here).
 
-        Always a :class:`SerialExecutor` inside: fleet workers are already
-        processes, so the differential step must stay in-process.
+        Always a :class:`SerialExecutor` and a synchronous (non-pipelined)
+        loop inside: fleet workers are already processes, so the
+        differential step must stay in-process, and slice state dicts
+        cannot ship an in-flight pipelined batch between workers.
         """
         loop = FuzzLoop(
             self.build_generator(),
@@ -185,6 +200,40 @@ class CampaignSpec:
 
 
 # -- aggregation ---------------------------------------------------------------
+
+
+@dataclass
+class FleetStats:
+    """Dispatch accounting for one fleet entry-point call.
+
+    ``busy_seconds`` is worker-side compute (summed over slices, measured
+    inside :func:`_run_slice` around the actual campaign work), so
+    ``utilisation`` = busy / (wall x worker slots) exposes exactly what the
+    streaming runtime exists to improve: how much of the pool's capacity
+    round barriers leave idle.  In-process runs have one slot and so sit
+    near 1.0 by construction; the metric is only discriminating on >= 2
+    workers (``BENCH_fleet.json`` records it per mode).
+    """
+
+    mode: str = "rounds"
+    n_workers: int = 0
+    #: Effective concurrent execution slots: 1 in-process, else the worker
+    #: count clamped by the run's concurrency cap (``concurrent_slices`` /
+    #: the job count) — so utilisation measures dispatch quality against
+    #: the slots the run could actually fill, not raw pool size.
+    worker_slots: int = 1
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    slices: int = 0
+    tests: int = 0
+
+    @property
+    def utilisation(self) -> float:
+        """Mean fraction of worker slots kept busy over the run's wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.busy_seconds / (self.wall_seconds
+                                    * max(1, self.worker_slots))
 
 
 @dataclass
@@ -314,17 +363,22 @@ def _get_campaign(specs, cache, index: int, fresh: bool) -> Campaign:
 
 
 def _run_slice(campaign: Campaign, n_tests: int, state: dict | None):
-    """Continue one campaign by one slice; returns (new state, snapshot).
+    """Continue one campaign by one slice; returns (new state, snapshot,
+    busy seconds).
 
     ``state`` is the authoritative mutable state from the parent (None only
     for a campaign's very first slice) — the cached shell contributes only
     the immutable, expensive parts (harness, executor), so slices of one
-    campaign may land on different workers in any order.
+    campaign may land on different workers in any order.  ``busy seconds``
+    is the wall time this slice held its worker slot (state restore +
+    simulation + snapshot), the numerator of
+    :attr:`FleetStats.utilisation`.
     """
+    started = time.perf_counter()
     if state is not None:
         campaign.load_state_dict(state)
     result = campaign.run_slice(n_tests)
-    return campaign.state_dict(), result
+    return campaign.state_dict(), result, time.perf_counter() - started
 
 
 def _fleet_slice(index: int, n_tests: int, state: dict | None):
@@ -523,9 +577,13 @@ class FleetRunner:
         equal ``concurrent_slices``): state travels with each slice, so
         placement never affects behaviour.
     checkpoint_dir:
-        Enables :class:`FleetCheckpoint` snapshots (written after every
-        completed slice/round) and resume-on-construction: an existing
+        Enables :class:`FleetCheckpoint` snapshots (written incrementally,
+        as slices complete) and resume-on-construction: an existing
         compatible checkpoint is loaded and completed work is not redone.
+
+    Every entry point records its dispatch accounting in
+    :attr:`last_stats` (wall/busy seconds, slice count, worker
+    utilisation) — the observable the streaming mode improves.
     """
 
     def __init__(self, specs: Sequence[CampaignSpec],
@@ -544,6 +602,8 @@ class FleetRunner:
             FleetCheckpoint(Path(checkpoint_dir), self.specs)
             if checkpoint_dir is not None else None
         )
+        #: Dispatch accounting of the most recent run/run_scheduled call.
+        self.last_stats = FleetStats(n_workers=self.n_workers)
         self._pool: ProcessPoolExecutor | None = None
         self._local_campaigns: dict[int, Campaign] = {}
         self._closed = False
@@ -562,7 +622,13 @@ class FleetRunner:
         return self._pool
 
     def close(self) -> None:
-        """Release the worker pool (idempotent); in-process shells stay."""
+        """Release the worker pool; in-process shells stay.
+
+        Idempotent, and safe while slices are in flight: queued slices are
+        cancelled, running ones finish and are discarded, and no worker
+        processes are left behind (a dispatch loop interrupted this way
+        surfaces ``CancelledError`` to its caller rather than hanging).
+        """
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
@@ -576,19 +642,27 @@ class FleetRunner:
 
     # -- dispatch --------------------------------------------------------------
 
+    def _begin_stats(self, mode: str, concurrency: int) -> FleetStats:
+        slots = (1 if self.n_workers == 0
+                 else max(1, min(self.n_workers, concurrency)))
+        self.last_stats = FleetStats(mode=mode, n_workers=self.n_workers,
+                                     worker_slots=slots)
+        return self.last_stats
+
+    def _run_local_slice(self, index: int, n_tests: int, state: dict | None):
+        """Run one slice in-process on the cached local campaign shell."""
+        campaign = _get_campaign(
+            self.specs, self._local_campaigns, index, fresh=state is None
+        )
+        return _run_slice(campaign, n_tests, state)
+
     def _dispatch(self, jobs: list[tuple[int, int, dict | None]]):
-        """Run (index, n_tests, state) jobs; results in job order."""
+        """Barrier dispatch: run every job, results in job order (the round
+        mode's primitive — the streaming loop dispatches futures itself)."""
         if self._closed:
             raise RuntimeError("FleetRunner is closed")
         if self.n_workers == 0:
-            outputs = []
-            for index, n_tests, state in jobs:
-                campaign = _get_campaign(
-                    self.specs, self._local_campaigns, index,
-                    fresh=state is None,
-                )
-                outputs.append(_run_slice(campaign, n_tests, state))
-            return outputs
+            return [self._run_local_slice(*job) for job in jobs]
         pool = self._ensure_pool()
         futures = [pool.submit(_fleet_slice, index, n_tests, state)
                    for index, n_tests, state in jobs]
@@ -662,22 +736,56 @@ class FleetRunner:
         """Run every spec to its full ``budget_tests`` (one slice each).
 
         The basic sharding mode: N independent campaigns spread over the
-        pool, gathered in spec order.  With a checkpoint, arms that already
-        reached their budget are not re-run.
+        pool, gathered in spec order.  Dispatch is event-driven: each
+        campaign is checkpointed the moment its slice completes (not at an
+        end-of-fleet barrier), so a kill loses only in-flight work.  With a
+        checkpoint, arms that already reached their budget are not re-run.
         """
+        if self._closed:
+            raise RuntimeError("FleetRunner is closed")
+        started = time.perf_counter()
         states, rounds = self._load_states(scheduler=None)
         jobs = []
         for index, spec in enumerate(self.specs):
             remaining = spec.budget_tests - self._state_tests(states.get(index))
             if remaining > 0:
                 jobs.append((index, remaining, states.get(index)))
-        outputs = self._dispatch(jobs)
+        stats = self._begin_stats("whole-budget", concurrency=len(jobs))
         results: dict[int, CampaignResult] = {}
-        for (index, _, _), (state, result) in zip(jobs, outputs):
+
+        def fold(index: int, output) -> None:
+            state, result, busy = output
+            ran = result.tests_run - self._state_tests(states.get(index))
             states[index] = state
             results[index] = result
-        self._save_round(states, None, rounds + 1,
-                         dirty=[index for index, _, _ in jobs])
+            stats.busy_seconds += busy
+            stats.slices += 1
+            stats.tests += ran
+            rounds_now = rounds + len(results)
+            self._save_round(states, None, rounds_now, dirty=[index])
+
+        if self.n_workers == 0:
+            for job in jobs:
+                fold(job[0], self._run_local_slice(*job))
+        else:
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(_fleet_slice, index, n_tests, state): index
+                for index, n_tests, state in jobs
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    # Deterministic fold order among simultaneous arrivals.
+                    for future in sorted(done, key=futures.__getitem__):
+                        fold(futures[future], future.result())
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+        stats.wall_seconds = time.perf_counter() - started
         for index, spec in enumerate(self.specs):
             if index not in results:  # completed in a previous run (or n=0)
                 results[index] = (
@@ -690,25 +798,52 @@ class FleetRunner:
                       slice_tests: int = 64,
                       total_tests: int | None = None,
                       target_percent: float | None = None,
-                      concurrent_slices: int | None = None) -> FleetResult:
+                      concurrent_slices: int | None = None,
+                      mode: str = "rounds") -> FleetResult:
         """Allocate the budget in slices via ``scheduler`` (MABFuzz-style).
 
-        Each round the scheduler picks up to ``concurrent_slices`` distinct
-        arms (default: the worker count); their slices run concurrently,
-        then the scheduler is updated in pick order with each slice's
-        reward — the arm's *new* contribution to the fleet-wide coverage
-        union, normalised by the universe size.  Rounds are deterministic
-        for a given configuration regardless of worker timing.
+        ``mode="rounds"`` (the default) is barrier-synchronised: each round
+        the scheduler picks up to ``concurrent_slices`` distinct arms
+        (default: the worker count); their slices run concurrently, then
+        the scheduler is updated in pick order with each slice's reward —
+        the arm's *new* contribution to the fleet-wide coverage union,
+        normalised by the universe size.  Rounds are deterministic for a
+        given configuration regardless of worker timing, at the cost of
+        every round waiting for its slowest slice.
+
+        ``mode="streaming"`` is the event-driven dispatch loop: one slice
+        per free worker slot, and each completion is immediately folded
+        into the union, reported to ``scheduler.on_slice_complete``,
+        checkpointed, and replaced by the next
+        ``scheduler.next_campaign`` dispatch — worker slots never idle at
+        a barrier.  The determinism contract: every campaign's *own*
+        trajectory stays deterministic (slices carry their state, and a
+        campaign never has two slices in flight), so with per-arm budgets
+        as the only stop condition the final per-campaign results — and
+        hence the fleet union — are bit-identical to round mode.  Only the
+        *interleaving* (scheduler observation order, and therefore the
+        allocation under shared ``total_tests`` / ``target_percent`` caps
+        on a real pool) varies run-to-run.  In-process streaming
+        (``n_workers=0``) has one slot and is fully deterministic — the
+        reference for the kill/resume equality tests.
 
         Stops when every arm reached its ``budget_tests``, the fleet spent
         ``total_tests`` (checked at slice granularity — batch rounding may
         overshoot slightly), or union coverage reached ``target_percent``.
         """
+        if mode not in ("rounds", "streaming"):
+            raise ValueError(
+                f"mode must be 'rounds' or 'streaming', got {mode!r}"
+            )
+        if self._closed:
+            raise RuntimeError("FleetRunner is closed")
         scheduler = scheduler if scheduler is not None else RoundRobin()
         scheduler.bind(len(self.specs))
+        started = time.perf_counter()
         states, rounds = self._load_states(scheduler)
         concurrency = (concurrent_slices if concurrent_slices is not None
                        else max(1, self.n_workers))
+        stats = self._begin_stats(mode, concurrency)
         union_bits = 0
         universe = 0
         for state in states.values():
@@ -716,16 +851,65 @@ class FleetRunner:
             union_bits |= coverage.to_int()
             universe = max(universe, coverage.nbits)
         spent = sum(self._state_tests(s) for s in states.values())
+        box = {"union_bits": union_bits, "universe": universe,
+               "spent": spent, "rounds": rounds}
 
         def target_reached() -> bool:
-            return (target_percent is not None and universe > 0
-                    and 100.0 * union_bits.bit_count() / universe
-                    >= target_percent)
+            return (target_percent is not None and box["universe"] > 0
+                    and 100.0 * box["union_bits"].bit_count()
+                    / box["universe"] >= target_percent)
 
+        def fold_completion(arm: int, output, event_driven: bool) -> None:
+            """Fold one finished slice: union, reward, scheduler, stats,
+            checkpoint.  Shared verbatim by both modes so their per-slice
+            bookkeeping cannot drift apart."""
+            state, result, busy = output
+            ran = result.tests_run - self._state_tests(states.get(arm))
+            box["spent"] += ran
+            states[arm] = state
+            bits = result.final_coverage.to_int()
+            gained = (bits & ~box["union_bits"]).bit_count()
+            box["union_bits"] |= bits
+            box["universe"] = max(box["universe"],
+                                  result.final_coverage.nbits)
+            reward = gained / box["universe"] if box["universe"] else 0.0
+            if event_driven:
+                scheduler.on_slice_complete(arm, ran, reward)
+            else:
+                scheduler.update(arm, ran, reward)
+            stats.busy_seconds += busy
+            stats.slices += 1
+            stats.tests += ran
+            if event_driven:
+                box["rounds"] += 1
+                self._save_round(states, scheduler, box["rounds"],
+                                 dirty=[arm])
+
+        if mode == "streaming":
+            self._run_streaming(scheduler, slice_tests, total_tests,
+                                concurrency, states, box, target_reached,
+                                fold_completion)
+        else:
+            self._run_rounds(scheduler, slice_tests, total_tests,
+                             concurrency, states, box, target_reached,
+                             fold_completion)
+        stats.wall_seconds = time.perf_counter() - started
+        return FleetResult([
+            self._result_from_state(spec.name, states[index])
+            if index in states
+            else CampaignResult(name=spec.name)
+            for index, spec in enumerate(self.specs)
+        ])
+
+    def _run_rounds(self, scheduler, slice_tests, total_tests, concurrency,
+                    states, box, target_reached, fold_completion) -> None:
+        """The barrier-synchronised scheduling loop (pre-streaming
+        behaviour, bit for bit: same picks, same update order, same
+        round-granular checkpoints)."""
         while True:
             if target_reached():
                 break
-            if total_tests is not None and spent >= total_tests:
+            if total_tests is not None and box["spent"] >= total_tests:
                 break
             available = {
                 index for index, spec in enumerate(self.specs)
@@ -735,7 +919,7 @@ class FleetRunner:
                 break
             picks: list[tuple[int, int]] = []
             budget_left = (None if total_tests is None
-                           else total_tests - spent)
+                           else total_tests - box["spent"])
             while available and len(picks) < concurrency:
                 if budget_left is not None and budget_left <= 0:
                     break
@@ -755,22 +939,93 @@ class FleetRunner:
             outputs = self._dispatch(
                 [(arm, n_tests, states.get(arm)) for arm, n_tests in picks]
             )
-            for (arm, _), (state, result) in zip(picks, outputs):
-                ran = result.tests_run - self._state_tests(states.get(arm))
-                spent += ran
-                states[arm] = state
-                bits = result.final_coverage.to_int()
-                gained = (bits & ~union_bits).bit_count()
-                union_bits |= bits
-                universe = max(universe, result.final_coverage.nbits)
-                reward = gained / universe if universe else 0.0
-                scheduler.update(arm, ran, reward)
-            rounds += 1
-            self._save_round(states, scheduler, rounds,
+            for (arm, _), output in zip(picks, outputs):
+                fold_completion(arm, output, event_driven=False)
+            box["rounds"] += 1
+            self._save_round(states, scheduler, box["rounds"],
                              dirty=[arm for arm, _ in picks])
-        return FleetResult([
-            self._result_from_state(spec.name, states[index])
-            if index in states
-            else CampaignResult(name=spec.name)
-            for index, spec in enumerate(self.specs)
-        ])
+
+    def _run_streaming(self, scheduler, slice_tests, total_tests,
+                       concurrency, states, box, target_reached,
+                       fold_completion) -> None:
+        """The futures-based dispatch loop (see :meth:`run_scheduled`).
+
+        ``reserved`` counts tests promised to in-flight slices so the
+        shared ``total_tests`` cap is respected at dispatch time; an arm
+        never has two slices in flight (its state travels with the slice),
+        which is what keeps per-campaign trajectories deterministic.
+        """
+        inflight_arms: set[int] = set()
+        reserved = 0
+
+        def pick() -> tuple[int, int] | None:
+            if target_reached():
+                return None
+            if (total_tests is not None
+                    and box["spent"] + reserved >= total_tests):
+                return None
+            eligible = [
+                index for index, spec in enumerate(self.specs)
+                if index not in inflight_arms
+                and self._state_tests(states.get(index)) < spec.budget_tests
+            ]
+            if not eligible:
+                return None
+            arm = scheduler.next_campaign(eligible)
+            n_tests = min(
+                slice_tests,
+                self.specs[arm].budget_tests
+                - self._state_tests(states.get(arm)),
+            )
+            if total_tests is not None:
+                n_tests = min(n_tests,
+                              total_tests - box["spent"] - reserved)
+            if n_tests <= 0:
+                return None
+            return arm, n_tests
+
+        if self.n_workers == 0:
+            # One slot: dispatch -> complete -> fold, immediately.  Fully
+            # deterministic — the streaming mode's reference trajectory.
+            while True:
+                picked = pick()
+                if picked is None:
+                    break
+                arm, n_tests = picked
+                fold_completion(
+                    arm,
+                    self._run_local_slice(arm, n_tests, states.get(arm)),
+                    event_driven=True,
+                )
+            return
+
+        pool = self._ensure_pool()
+        inflight: dict[Future, tuple[int, int]] = {}
+        try:
+            while True:
+                while len(inflight) < concurrency:
+                    picked = pick()
+                    if picked is None:
+                        break
+                    arm, n_tests = picked
+                    inflight_arms.add(arm)
+                    reserved += n_tests
+                    future = pool.submit(_fleet_slice, arm, n_tests,
+                                         states.get(arm))
+                    inflight[future] = (arm, n_tests)
+                if not inflight:
+                    break
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                # Stable fold order among simultaneous completions (the
+                # arrival *timing* still varies run-to-run — that is the
+                # documented interleaving nondeterminism).
+                for future in sorted(done, key=lambda f: inflight[f][0]):
+                    arm, n_tests = inflight.pop(future)
+                    inflight_arms.discard(arm)
+                    reserved -= n_tests
+                    fold_completion(arm, future.result(),
+                                    event_driven=True)
+        except BaseException:
+            for future in inflight:
+                future.cancel()
+            raise

@@ -29,8 +29,8 @@ Design notes
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.fuzzing.executor import DifferentialResult, HarnessExecutor
 
@@ -62,6 +62,20 @@ class PoolStats:
     batches: int = 0
     tests: int = 0
     chunks: int = 0
+
+
+@dataclass
+class SubmittedBatch:
+    """Handle for a batch whose chunks are in flight on the pool.
+
+    Single-use: :meth:`ShardedExecutor.collect` consumes it.  Multiple
+    handles may be outstanding at once (the pool queues excess chunks),
+    which is what the pipelined fuzz loop relies on.
+    """
+
+    futures: list[Future] = field(default_factory=list)
+    n_bodies: int = 0
+    collected: bool = False
 
 
 class ShardedExecutor(HarnessExecutor):
@@ -145,24 +159,50 @@ class ShardedExecutor(HarnessExecutor):
             size = max(1, -(-len(bodies) // self.n_workers))  # ceil division
         return [bodies[i:i + size] for i in range(0, len(bodies), size)]
 
-    def run_batch(self, bodies: list[list[int]]) -> list[DifferentialResult]:
+    def submit_batch(self, bodies: list[list[int]]) -> SubmittedBatch:
+        """Dispatch a batch's chunks to the pool immediately (no waiting).
+
+        Unlike the base executor's deferred handle, the chunks start
+        simulating right away, so the caller can do CPU work (generate the
+        next batch) while the workers run this one.
+        """
         if not bodies:
-            return []
+            return SubmittedBatch()
         pool = self._ensure_pool()
         chunks = self._chunks(bodies)
-        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        return SubmittedBatch(
+            futures=[pool.submit(_run_chunk, chunk) for chunk in chunks],
+            n_bodies=len(bodies),
+        )
+
+    def collect(self, handle) -> list[DifferentialResult]:
+        if not isinstance(handle, SubmittedBatch):
+            return super().collect(handle)
+        if handle.collected:
+            raise RuntimeError("batch handle was already collected")
+        handle.collected = True
+        if self._closed:
+            # close() cancelled queued chunks; collecting now would either
+            # raise CancelledError or block on a dead pool.
+            raise RuntimeError("ShardedExecutor is closed")
         results: list[DifferentialResult] = []
         try:
             # Gather in submission order: chunks are contiguous slices, so
             # concatenating their results reconstructs the batch order even
             # though the chunks *executed* concurrently.
-            for future in futures:
+            for future in handle.futures:
                 results.extend(future.result())
         except BaseException:
-            for future in futures:
+            for future in handle.futures:
                 future.cancel()
             raise
-        self.stats.batches += 1
-        self.stats.tests += len(bodies)
-        self.stats.chunks += len(chunks)
+        if handle.n_bodies:
+            self.stats.batches += 1
+            self.stats.tests += handle.n_bodies
+            self.stats.chunks += len(handle.futures)
         return results
+
+    def run_batch(self, bodies: list[list[int]]) -> list[DifferentialResult]:
+        if not bodies:
+            return []
+        return self.collect(self.submit_batch(bodies))

@@ -19,9 +19,26 @@ Two policies are provided behind one small protocol:
   towards pure exploration terms and the budget flows to whichever fuzzer
   is still finding new arms.
 
+The protocol is *event-driven*: the fleet runner asks
+:meth:`BudgetScheduler.next_campaign` whenever a worker frees up and
+reports each finished slice through
+:meth:`BudgetScheduler.on_slice_complete` the moment it completes — no
+round barrier is implied by the interface.  The pre-streaming round-mode
+entry points (:meth:`BudgetScheduler.select` /
+:meth:`BudgetScheduler.update`) survive as thin adapters over the
+event-driven pair, so round-synchronised fleets drive the exact same
+policy state and stay bit-identical to their pre-refactor behaviour.
+Policies should override the event-driven pair; a legacy subclass that
+only overrides ``select``/``update`` keeps working in round mode but
+cannot serve a streaming fleet.
+
 Schedulers are deterministic (ties break to the lowest arm index) and
 checkpointable (:meth:`BudgetScheduler.state_dict`), so a resumed fleet
-continues the exact allocation sequence of an uninterrupted one.
+continues the exact allocation sequence of an uninterrupted one.  In
+streaming mode the *completion order* of concurrent slices feeds
+``on_slice_complete``, so a pooled streaming fleet's allocation sequence
+can vary run-to-run — see the determinism contract on
+:meth:`repro.fuzzing.fleet.FleetRunner.run_scheduled`.
 """
 
 from __future__ import annotations
@@ -31,12 +48,18 @@ from typing import Sequence
 
 
 class BudgetScheduler:
-    """Protocol for slice-allocation policies.
+    """Protocol for slice-allocation policies (event-driven).
 
-    Lifecycle: :meth:`bind` once with the number of arms, then alternate
-    :meth:`select` (choose an eligible arm) and :meth:`update` (report the
-    slice's observed reward).  ``select`` must be deterministic given the
-    call history — fleet checkpoint/resume equality depends on it.
+    Lifecycle: :meth:`bind` once with the number of arms, then the fleet
+    runner calls :meth:`next_campaign` each time a worker slot frees up
+    and :meth:`on_slice_complete` as each slice finishes.  Both must be
+    deterministic given the call history — fleet checkpoint/resume
+    equality depends on it.  The round-mode pair (:meth:`select` /
+    :meth:`update`) are adapters over the event-driven pair: one round of
+    barrier-synchronised picks is just N ``next_campaign`` calls whose
+    completions happen to be reported together, so one policy
+    implementation serves both fleet modes with identical state
+    evolution.
     """
 
     n_arms: int = 0
@@ -47,12 +70,29 @@ class BudgetScheduler:
             raise ValueError(f"need at least one arm, got {n_arms}")
         self.n_arms = n_arms
 
-    def select(self, eligible: Sequence[int]) -> int:
-        """Choose the next arm from the (sorted) eligible indices."""
+    # -- event-driven interface (override these) -------------------------------
+
+    def next_campaign(self, eligible: Sequence[int]) -> int:
+        """Choose the campaign for a freed worker from the (sorted)
+        eligible indices (arms under budget and not already in flight)."""
         raise NotImplementedError
 
+    def on_slice_complete(self, arm: int, tests: int, reward: float) -> None:
+        """Fold one completed slice on ``arm`` into policy state (no-op by
+        default).  Called the moment the slice finishes — in streaming
+        fleets that is completion order, not dispatch order."""
+
+    # -- round-mode adapters (legacy interface) --------------------------------
+
+    def select(self, eligible: Sequence[int]) -> int:
+        """Round-mode adapter for :meth:`next_campaign`."""
+        return self.next_campaign(eligible)
+
     def update(self, arm: int, tests: int, reward: float) -> None:
-        """Report the outcome of one slice on ``arm`` (no-op by default)."""
+        """Round-mode adapter for :meth:`on_slice_complete`."""
+        self.on_slice_complete(arm, tests, reward)
+
+    # -- checkpointing ---------------------------------------------------------
 
     def state_dict(self) -> dict:
         """Picklable/JSON-able policy state for fleet checkpoints."""
@@ -68,7 +108,7 @@ class RoundRobin(BudgetScheduler):
     def __init__(self) -> None:
         self._cursor = 0
 
-    def select(self, eligible: Sequence[int]) -> int:
+    def next_campaign(self, eligible: Sequence[int]) -> int:
         if not eligible:
             raise ValueError("no eligible arms to schedule")
         pool = set(eligible)
@@ -109,7 +149,7 @@ class BanditScheduler(BudgetScheduler):
             self.counts = [0] * n_arms
             self.totals = [0.0] * n_arms
 
-    def select(self, eligible: Sequence[int]) -> int:
+    def next_campaign(self, eligible: Sequence[int]) -> int:
         if not eligible:
             raise ValueError("no eligible arms to schedule")
         unplayed = [arm for arm in eligible if self.counts[arm] == 0]
@@ -126,7 +166,7 @@ class BanditScheduler(BudgetScheduler):
             ),
         )
 
-    def update(self, arm: int, tests: int, reward: float) -> None:
+    def on_slice_complete(self, arm: int, tests: int, reward: float) -> None:
         self.counts[arm] += 1
         self.totals[arm] += reward
 

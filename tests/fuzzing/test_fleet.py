@@ -24,7 +24,12 @@ from repro.coverage.reference import SetCoverageReport, SetCumulativeCoverage
 from repro.fuzzing import Campaign, FuzzLoop
 from repro.fuzzing.campaign import CampaignResult, CurvePoint
 from repro.fuzzing.executor import SerialExecutor
-from repro.fuzzing.fleet import CampaignSpec, FleetRunner, register_generator
+from repro.fuzzing.fleet import (
+    CampaignSpec,
+    FleetRunner,
+    FleetStats,
+    register_generator,
+)
 from repro.fuzzing.scheduler import BanditScheduler, RoundRobin
 from repro.rtl.bitset import Bitset
 from repro.soc.harness import make_rocket_harness, rocket_harness_factory
@@ -188,7 +193,9 @@ class TestFleetVsSerialParity:
 
     def test_union_matches_reference_engine_over_concatenated_stream(self):
         """Satellite pin: cross-campaign bitmap union == the set-based
-        reference engine run serially over the concatenated test stream.
+        reference engine run serially over the concatenated test stream,
+        in whole-budget, rounds-scheduled and streaming-scheduled modes
+        alike.
 
         Feedback-free generators, so the replayed serial stream is
         guaranteed identical to what the campaigns generated (a mutation
@@ -221,6 +228,88 @@ class TestFleetVsSerialParity:
 
         assert result.union_coverage() == reference.hits
         assert result.union_percent == pytest.approx(reference.percent)
+
+        for mode in ("rounds", "streaming"):
+            with FleetRunner(specs, n_workers=0) as fleet:
+                scheduled = fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                                mode=mode)
+            assert scheduled.union_coverage() == reference.hits
+
+
+class TestStreamingMode:
+    """The event-driven dispatch loop: parity with rounds, stats, modes."""
+
+    def _run(self, mode, n_workers=0, scheduler=None, **kwargs):
+        with FleetRunner(spec_pair(budget=24), n_workers=n_workers) as fleet:
+            result = fleet.run_scheduled(
+                scheduler if scheduler is not None else RoundRobin(),
+                slice_tests=8, mode=mode, **kwargs,
+            )
+            return result, fleet.last_stats
+
+    def test_streaming_matches_rounds_in_process(self):
+        """Full per-arm budgets: streaming == rounds, campaign for
+        campaign (the tentpole's fleet-union parity acceptance pin)."""
+        rounds, _ = self._run("rounds")
+        streaming, _ = self._run("streaming")
+        assert streaming.campaigns == rounds.campaigns
+        assert streaming.union_coverage() == rounds.union_coverage()
+
+    def test_pooled_streaming_matches_rounds(self):
+        """Interleaving may differ on a pool, but per-campaign
+        trajectories are deterministic, so final results agree."""
+        rounds, _ = self._run("rounds")
+        pooled, stats = self._run("streaming", n_workers=2)
+        assert pooled.campaigns == rounds.campaigns
+        assert stats.mode == "streaming" and stats.n_workers == 2
+
+    def test_streaming_with_bandit(self):
+        rounds, _ = self._run("rounds", scheduler=BanditScheduler())
+        streaming, _ = self._run("streaming", scheduler=BanditScheduler())
+        assert streaming.campaigns == rounds.campaigns
+
+    def test_streaming_respects_per_arm_budgets(self):
+        result, stats = self._run("streaming")
+        assert [c.tests_run for c in result.campaigns] == [24, 24]
+        assert stats.slices == 6  # 2 arms x 24 tests / 8-test slices
+
+    def test_streaming_respects_total_tests_cap(self):
+        result, _ = self._run("streaming", total_tests=16)
+        assert result.total_tests == 16
+
+    def test_streaming_respects_target_percent(self):
+        result, _ = self._run("streaming", target_percent=30.0)
+        assert result.union_percent >= 30.0
+        full, _ = self._run("streaming")
+        assert result.total_tests < full.total_tests
+
+    def test_invalid_mode_rejected(self):
+        with FleetRunner(spec_pair(), n_workers=0) as fleet:
+            with pytest.raises(ValueError, match="rounds.*streaming"):
+                fleet.run_scheduled(mode="async")
+
+    def test_stats_account_wall_busy_and_utilisation(self):
+        result, stats = self._run("streaming")
+        assert isinstance(stats, FleetStats)
+        assert stats.wall_seconds > 0
+        assert 0 < stats.busy_seconds <= stats.wall_seconds * 1.05
+        assert stats.tests == result.total_tests
+        assert 0.0 < stats.utilisation <= 1.05
+        assert stats.worker_slots == 1  # in-process
+
+    def test_whole_budget_run_records_stats(self):
+        with FleetRunner(spec_pair(budget=16), n_workers=0) as fleet:
+            result = fleet.run()
+            stats = fleet.last_stats
+        assert stats.mode == "whole-budget"
+        assert stats.slices == 2
+        assert stats.tests == result.total_tests
+
+    def test_streaming_closed_runner_refuses_work(self):
+        runner = FleetRunner(spec_pair(), n_workers=0)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.run_scheduled(mode="streaming")
 
 
 class TestScheduling:
@@ -301,6 +390,56 @@ class TestCheckpointResume:
                          checkpoint_dir=tmp_path) as fleet:
             resumed = fleet.run_scheduled(RoundRobin(), slice_tests=8)
         assert resumed.campaigns == uninterrupted.campaigns
+
+    def test_streaming_kill_and_resume_equals_uninterrupted(self, tmp_path):
+        """Satellite pin: incremental (per-slice) checkpoints resume to the
+        same final state as an uninterrupted streaming run.  In-process
+        streaming is fully deterministic, so equality is exact."""
+        specs = spec_pair(budget=40)
+        with FleetRunner(specs, n_workers=0) as fleet:
+            uninterrupted = fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                                mode="streaming")
+        with FleetRunner(specs, n_workers=0,
+                         checkpoint_dir=tmp_path) as fleet:
+            fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                mode="streaming", total_tests=16)
+        with FleetRunner(specs, n_workers=0,
+                         checkpoint_dir=tmp_path) as fleet:
+            resumed = fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                          mode="streaming")
+        assert resumed.campaigns == uninterrupted.campaigns
+
+    def test_streaming_checkpoint_resumes_into_rounds_and_back(self, tmp_path):
+        """Incremental checkpoints are mode-agnostic: a fleet killed in
+        streaming mode can resume in round mode (and vice versa) because
+        the snapshot format is identical — with full per-arm budgets the
+        final result matches either mode's uninterrupted run."""
+        specs = spec_pair(budget=40)
+        with FleetRunner(specs, n_workers=0) as fleet:
+            uninterrupted = fleet.run_scheduled(RoundRobin(), slice_tests=8)
+        with FleetRunner(specs, n_workers=0,
+                         checkpoint_dir=tmp_path) as fleet:
+            fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                mode="streaming", total_tests=16)
+        with FleetRunner(specs, n_workers=0,
+                         checkpoint_dir=tmp_path) as fleet:
+            resumed = fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                          mode="rounds")
+        assert resumed.campaigns == uninterrupted.campaigns
+
+    def test_streaming_checkpoints_are_per_slice(self, tmp_path):
+        """The incremental contract itself: after a single-slice cap, the
+        checkpoint holds exactly that slice — not a round barrier's worth
+        of arms."""
+        specs = spec_pair(budget=40)
+        with FleetRunner(specs, n_workers=0,
+                         checkpoint_dir=tmp_path) as fleet:
+            fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                mode="streaming", total_tests=8)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["arms"] == {"0": {"tests_run": 8}}
+        assert (tmp_path / "campaign_0.json").exists()
+        assert not (tmp_path / "campaign_1.json").exists()
 
     def test_whole_budget_resume_skips_completed_arms(self, tmp_path):
         specs = spec_pair(budget=16)

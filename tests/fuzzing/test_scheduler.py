@@ -1,4 +1,6 @@
-"""Budget schedulers: round-robin cycling, UCB1 math, checkpoint state."""
+"""Budget schedulers: round-robin cycling, UCB1 math, checkpoint state,
+and the event-driven interface (next_campaign/on_slice_complete) with its
+round-mode adapters (select/update)."""
 
 import math
 
@@ -116,3 +118,85 @@ class TestBanditScheduler:
         scheduler.load_state_dict(scheduler.state_dict())
         with pytest.raises(NotImplementedError):
             scheduler.select([0, 1])
+
+
+class TestEventDrivenInterface:
+    """The streaming fleet drives next_campaign/on_slice_complete; the
+    round-mode pair must be pure adapters over the same policy state."""
+
+    def test_round_robin_event_driven_cycling(self):
+        rr = RoundRobin()
+        rr.bind(3)
+        picks = [rr.next_campaign([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_select_and_next_campaign_share_cursor(self):
+        rr = RoundRobin()
+        rr.bind(4)
+        assert rr.next_campaign([0, 1, 2, 3]) == 0
+        assert rr.select([0, 1, 2, 3]) == 1  # adapter advances same cursor
+        assert rr.next_campaign([0, 1, 2, 3]) == 2
+
+    def test_update_and_on_slice_complete_share_bandit_state(self):
+        via_update = BanditScheduler()
+        via_update.bind(3)
+        via_event = BanditScheduler()
+        via_event.bind(3)
+        for arm, reward in ((0, 0.1), (1, 0.9), (2, 0.3), (1, 0.8)):
+            via_update.update(arm, tests=8, reward=reward)
+            via_event.on_slice_complete(arm, tests=8, reward=reward)
+        assert via_update.counts == via_event.counts
+        assert via_update.totals == via_event.totals
+        assert (via_update.select([0, 1, 2])
+                == via_event.next_campaign([0, 1, 2]))
+
+    def test_ucb1_state_roundtrip_through_event_interface(self):
+        """Satellite pin: UCB1 state survives a checkpoint round-trip when
+        driven purely through the event-driven interface."""
+        bandit = BanditScheduler(exploration=0.3)
+        bandit.bind(3)
+        rewards = iter([0.4, 0.9, 0.1, 0.7, 0.2, 0.6])
+        for _ in range(3):  # one initial play per arm, then exploitation
+            arm = bandit.next_campaign([0, 1, 2])
+            bandit.on_slice_complete(arm, tests=8, reward=next(rewards))
+        clone = BanditScheduler(exploration=0.3)
+        clone.bind(3)
+        clone.load_state_dict(bandit.state_dict())
+        for _ in range(3):
+            reward = next(rewards)
+            arm = bandit.next_campaign([0, 1, 2])
+            clone_arm = clone.next_campaign([0, 1, 2])
+            assert clone_arm == arm
+            bandit.on_slice_complete(arm, tests=8, reward=reward)
+            clone.on_slice_complete(clone_arm, tests=8, reward=reward)
+        assert clone.state_dict() == bandit.state_dict()
+
+    def test_legacy_subclass_still_works_in_round_mode(self):
+        """A pre-streaming policy that only overrides select/update keeps
+        serving round-mode fleets (and is rejected by streaming, which
+        needs next_campaign)."""
+
+        class Legacy(BudgetScheduler):
+            def __init__(self):
+                self.seen = []
+
+            def select(self, eligible):
+                return max(eligible)
+
+            def update(self, arm, tests, reward):
+                self.seen.append((arm, reward))
+
+        legacy = Legacy()
+        legacy.bind(3)
+        assert legacy.select([0, 1, 2]) == 2
+        legacy.update(2, tests=8, reward=0.5)
+        assert legacy.seen == [(2, 0.5)]
+        with pytest.raises(NotImplementedError):
+            legacy.next_campaign([0, 1, 2])
+
+    def test_base_on_slice_complete_is_noop(self):
+        scheduler = BudgetScheduler()
+        scheduler.bind(2)
+        scheduler.on_slice_complete(0, tests=8, reward=0.5)
+        with pytest.raises(NotImplementedError):
+            scheduler.next_campaign([0, 1])
