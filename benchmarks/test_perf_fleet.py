@@ -16,6 +16,11 @@ Two scaling claims live here:
    utilisation (worker-side busy seconds / (wall seconds x slots), from
    :class:`repro.fuzzing.fleet.FleetStats`) so the streaming win is
    attributable to reclaimed barrier idle time rather than noise.
+3. **Fault-tolerance overhead** (PR 6): retry/requeue, timeouts and
+   quarantine are always on by default, so the *fault-free* path must not
+   pay for them.  The same in-process fleet runs with the default retry
+   policy and with fault tolerance disabled (``max_retries=0,
+   quarantine=False``); the ratio is recorded and gated near 1.0.
 
 Results go to ``BENCH_fleet.json`` and ``bench_results.txt``.  Marked
 ``perf``: run with ``pytest --runperf benchmarks/test_perf_fleet.py``.
@@ -71,9 +76,9 @@ def _specs(bodies=None) -> list[CampaignSpec]:
     ]
 
 
-def _fleet_tests_per_sec(n_workers: int) -> tuple[float, object]:
+def _fleet_tests_per_sec(n_workers: int, **runner_kwargs) -> tuple[float, object]:
     start = time.perf_counter()
-    with FleetRunner(_specs(), n_workers=n_workers) as fleet:
+    with FleetRunner(_specs(), n_workers=n_workers, **runner_kwargs) as fleet:
         result = fleet.run()
     elapsed = time.perf_counter() - start
     assert result.total_tests == N_CAMPAIGNS * BUDGET_TESTS
@@ -116,6 +121,16 @@ def test_fleet_tests_per_sec():
         assert (modes[n_workers]["streaming"][2].campaigns
                 == modes[n_workers]["rounds"][2].campaigns)
 
+    # -- claim 3: fault tolerance is free when nothing faults ------------------
+    # In-process, whole-budget: the steadiest configuration, so the ratio
+    # measures the retry machinery (attempt bookkeeping, fault lookups)
+    # rather than pool scheduling noise.  Results must also be identical.
+    bare_tps, bare = _fleet_tests_per_sec(0, max_retries=0, quarantine=False)
+    guarded_tps, guarded = _fleet_tests_per_sec(0)  # default retry policy
+    assert guarded.campaigns == bare.campaigns
+    assert guarded.health.healthy
+    retry_overhead = bare_tps / guarded_tps if guarded_tps else 1.0
+
     record = {
         "benchmark": "fleet_tests_per_sec",
         "n_campaigns": N_CAMPAIGNS,
@@ -155,6 +170,13 @@ def test_fleet_tests_per_sec():
                 for n, by_mode in modes.items()
             },
         },
+        "fault_tolerance": {
+            "retries_disabled_tests_per_sec": round(bare_tps, 1),
+            "default_policy_tests_per_sec": round(guarded_tps, 1),
+            # > 1.0 means the always-on retry machinery costs throughput
+            # on the fault-free path; the gate keeps it within noise.
+            "fault_free_overhead": round(retry_overhead, 3),
+        },
     }
     fitting = [n for n in WORKER_COUNTS if n <= cores] or [WORKER_COUNTS[0]]
     best_n = max(fitting, key=lambda n: sharded[n][0])
@@ -166,7 +188,9 @@ def test_fleet_tests_per_sec():
     )
     write_bench_json("BENCH_fleet.json", record, headline=headline)
 
-    rows = [["in-process", "whole-budget", f"{serial_tps:.1f}", "1.00x", "-"]]
+    rows = [["in-process", "whole-budget", f"{serial_tps:.1f}", "1.00x", "-"],
+            ["in-process (no retries)", "whole-budget", f"{bare_tps:.1f}",
+             f"{bare_tps / guarded_tps:.2f}x vs default", "-"]]
     rows += [
         [f"{n} workers" + (" (> cores)" if n > cores else ""),
          "whole-budget", f"{tps:.1f}", f"{tps / serial_tps:.2f}x", "-"]
@@ -197,3 +221,6 @@ def test_fleet_tests_per_sec():
         assert sharded[2][0] / serial_tps >= 1.3
         assert (modes[2]["streaming"][0]
                 >= modes[2]["rounds"][0] * 0.98)  # >= up to timing noise
+    # The fault-free path must not pay for fault tolerance: allow 10%
+    # measurement noise, no more.
+    assert retry_overhead <= 1.10

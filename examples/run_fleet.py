@@ -11,7 +11,10 @@ cross-campaign E-BUGS detection table with per-campaign attribution.
 
 Run:  python examples/run_fleet.py [--tests N] [--workers W]
           [--scheduler none|roundrobin|bandit] [--mode rounds|streaming]
-          [--slice N] [--checkpoint DIR] [--seeds K] [--no-chatfuzz]
+          [--slice N] [--checkpoint DIR] [--recover-checkpoint]
+          [--seeds K] [--no-chatfuzz] [--max-retries N]
+          [--slice-timeout S] [--no-quarantine]
+          [--chaos-seed SEED] [--chaos-rate P] [--chaos-kinds K[,K]]
 
 Useful shapes:
 
@@ -26,14 +29,24 @@ Useful shapes:
   tradeoff).
 - ``--checkpoint DIR`` makes the run resumable: kill it, rerun the same
   command, and completed slices are not redone.
+- ``--chaos-seed 7 --chaos-rate 0.2 --workers 2`` injects a deterministic
+  fault plan (raised exceptions by default; add ``--chaos-kinds
+  raise,hang,die`` for hung slices and worker deaths) to watch the fleet
+  retry, recycle its pool and quarantine — the run should still complete
+  and, fault kinds permitting, match the fault-free result bit-for-bit.
 """
 
 import argparse
 import pickle
 from pathlib import Path
 
-from repro.analysis.fleet import fleet_bug_table, fleet_stats_table
+from repro.analysis.fleet import (
+    fleet_bug_table,
+    fleet_health_table,
+    fleet_stats_table,
+)
 from repro.analysis.report import format_table
+from repro.fuzzing.faults import FaultPlan
 from repro.fuzzing.fleet import CampaignSpec, FleetRunner
 from repro.fuzzing.scheduler import BanditScheduler, RoundRobin
 from repro.ml.lm_training import LMTrainConfig
@@ -69,10 +82,43 @@ parser.add_argument("--slice", type=int, default=40, metavar="N",
                     dest="slice_tests", help="tests per scheduler slice")
 parser.add_argument("--checkpoint", metavar="DIR", default=None,
                     help="checkpoint directory (enables resume)")
+parser.add_argument("--recover-checkpoint", action="store_true",
+                    help="resume past torn checkpoint snapshots (a previous "
+                         "run killed mid-write): fall back to the last "
+                         "intact per-arm snapshot, or restart the arm, "
+                         "instead of refusing to load")
 parser.add_argument("--seeds", type=int, default=1, metavar="K",
                     help="seed-sweep: K arms per fuzzer kind")
 parser.add_argument("--no-chatfuzz", action="store_true",
                     help="skip ChatFuzz (and its training step)")
+
+fault = parser.add_argument_group(
+    "fault tolerance / chaos testing",
+    "The fleet retries failed slices, rebuilds broken worker pools and "
+    "quarantines arms that keep failing (see ROADMAP.md 'Failure "
+    "semantics').  The chaos knobs inject deterministic faults to "
+    "exercise those paths end-to-end.")
+fault.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="attempts per slice beyond the first before the "
+                        "arm is quarantined (default: 2)")
+fault.add_argument("--slice-timeout", type=float, default=None, metavar="S",
+                   help="seconds a slice may run before it is treated as "
+                        "hung: pooled fleets recycle the worker pool, "
+                        "in-process fleets flag the slice after the fact")
+fault.add_argument("--no-quarantine", action="store_true",
+                   help="fail the whole fleet on the first exhausted arm "
+                        "instead of quarantining it and continuing")
+fault.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                   help="inject a deterministic seeded fault plan "
+                        "(FaultPlan.seeded) into the run; same seed = "
+                        "same faults")
+fault.add_argument("--chaos-rate", type=float, default=0.1, metavar="P",
+                   help="with --chaos-seed: probability each (arm, slice) "
+                        "gets a fault point (default: 0.1)")
+fault.add_argument("--chaos-kinds", default="raise", metavar="K[,K]",
+                   help="with --chaos-seed: comma-separated fault kinds "
+                        "drawn from raise,hang,die,crash (default: raise; "
+                        "'die' needs --workers > 0 to have a pool to kill)")
 args = parser.parse_args()
 
 specs = []
@@ -123,12 +169,28 @@ if not args.no_chatfuzz:
         for k, generator in enumerate(generators)
     ]
 
+fault_plan = None
+if args.chaos_seed is not None:
+    kinds = tuple(k.strip() for k in args.chaos_kinds.split(",") if k.strip())
+    n_slices = max(1, -(-args.tests // args.slice_tests))
+    fault_plan = FaultPlan.seeded(args.chaos_seed, n_arms=len(specs),
+                                  n_slices=n_slices, rate=args.chaos_rate,
+                                  kinds=kinds)
+    print(f"chaos: injecting {len(fault_plan)} fault points "
+          f"(seed={args.chaos_seed}, rate={args.chaos_rate}, "
+          f"kinds={','.join(kinds)})")
+
 placement = f"{args.workers} campaign workers" if args.workers else "in-process"
 print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests "
       f"({placement}, scheduler={args.scheduler}, mode={args.mode})\n")
 
 with FleetRunner(specs, n_workers=args.workers,
-                 checkpoint_dir=args.checkpoint) as fleet:
+                 checkpoint_dir=args.checkpoint,
+                 checkpoint_recover=args.recover_checkpoint,
+                 max_retries=args.max_retries,
+                 slice_timeout=args.slice_timeout,
+                 quarantine=not args.no_quarantine,
+                 fault_plan=fault_plan) as fleet:
     if args.scheduler == "none":
         result = fleet.run()
     else:
@@ -142,6 +204,9 @@ with FleetRunner(specs, n_workers=args.workers,
 print(result.summary())
 print()
 print(fleet_stats_table({"this run": stats}))
+if not result.health.healthy:
+    print()
+    print(fleet_health_table(result.health))
 
 names = [spec.name for spec in specs]
 rows = []

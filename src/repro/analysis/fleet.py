@@ -16,7 +16,7 @@ from typing import Iterable, Mapping
 from repro.analysis.bugs import KNOWN_BUGS, classify_mismatch
 from repro.analysis.report import format_table
 from repro.fuzzing.campaign import CampaignResult
-from repro.fuzzing.fleet import FleetStats
+from repro.fuzzing.fleet import FleetHealth, FleetStats
 from repro.fuzzing.mismatch import Mismatch
 
 
@@ -137,6 +137,45 @@ def fleet_stats_table(stats: Mapping[str, FleetStats],
     return format_table(
         ["run", "mode", "slots", "tests", "tests/sec", "utilisation"],
         fleet_stats_rows(stats),
+        title=title,
+    )
+
+
+def fleet_health_rows(health: FleetHealth) -> list[list[str]]:
+    """Fault-tolerance ledger rows: the recovery counters, then one row
+    per quarantined arm (and per dropped checkpoint snapshot).
+
+    Columns: event, arm, detail.  Empty on a healthy run — callers
+    usually gate on ``health.healthy`` and skip the table entirely.
+    """
+    rows: list[list[str]] = []
+    if health.retries:
+        rows.append(["retries", "-", f"{health.retries} slices re-dispatched"])
+    if health.timeouts:
+        rows.append(["timeouts", "-",
+                     f"{health.timeouts} slices exceeded slice_timeout"])
+    if health.pool_rebuilds:
+        rows.append(["pool rebuilds", "-",
+                     f"{health.pool_rebuilds} worker pools recycled"])
+    for record in health.quarantined:
+        rows.append([
+            "quarantined",
+            f"{record.arm} ({record.name})",
+            f"after {record.retries} retries at {record.tests_run} tests: "
+            f"{record.error}",
+        ])
+    for note in health.dropped_snapshots:
+        rows.append(["dropped snapshot", "-", note])
+    return rows
+
+
+def fleet_health_table(health: FleetHealth,
+                       title: str = "fleet health: retries, timeouts and "
+                                    "quarantined arms") -> str:
+    """The fault-tolerance ledger as an aligned text table."""
+    return format_table(
+        ["event", "arm", "detail"],
+        fleet_health_rows(health),
         title=title,
     )
 

@@ -18,7 +18,10 @@
   barrier-synchronised rounds or as an event-driven stream of slices,
   checkpointable, and aggregated into a
   :class:`~repro.fuzzing.fleet.FleetResult` (dispatch accounting in
-  :class:`~repro.fuzzing.fleet.FleetStats`).
+  :class:`~repro.fuzzing.fleet.FleetStats`), with fault tolerance —
+  slice retry, pool self-healing, timeouts, arm quarantine — reported in
+  :class:`~repro.fuzzing.fleet.FleetHealth` and pinned by the
+  deterministic chaos harness in :mod:`repro.fuzzing.faults`.
 """
 
 from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
@@ -28,12 +31,23 @@ from repro.fuzzing.executor import (
     HarnessExecutor,
     SerialExecutor,
 )
+from repro.fuzzing.faults import (
+    ChaosHarnessFactory,
+    FaultPlan,
+    FaultPoint,
+    FaultyHarnessFactory,
+    InjectedCrash,
+    InjectedFault,
+)
 from repro.fuzzing.fleet import (
     CampaignSpec,
     FleetCheckpoint,
+    FleetHealth,
     FleetResult,
     FleetRunner,
     FleetStats,
+    QuarantinedArm,
+    SliceTimeout,
     register_generator,
 )
 from repro.fuzzing.input import TestInput
@@ -48,20 +62,29 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CampaignSpec",
+    "ChaosHarnessFactory",
     "CurvePoint",
     "DifferentialResult",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultyHarnessFactory",
     "FleetCheckpoint",
+    "FleetHealth",
     "FleetResult",
     "FleetRunner",
     "FleetStats",
     "FuzzLoop",
     "HarnessExecutor",
+    "InjectedCrash",
+    "InjectedFault",
     "Mismatch",
     "MismatchDetector",
+    "QuarantinedArm",
     "RoundRobin",
     "SerialExecutor",
     "ShardedExecutor",
     "SimClock",
+    "SliceTimeout",
     "TestInput",
     "counter_csr_filter",
     "default_workers",

@@ -1,0 +1,263 @@
+"""Deterministic fault injection for the fleet runtime.
+
+The fault-tolerance guarantees of :mod:`repro.fuzzing.fleet` — slice
+retry/requeue, pool self-healing, timeouts, arm quarantine — are only
+worth having if every recovery path is pinned by tests rather than hoped
+for.  This module is the chaos harness that makes those paths
+reproducible on demand:
+
+- :class:`FaultPlan` — a set of *schedule-keyed* fault points.  Each
+  point names ``(arm, ordinal, attempt)``: the arm index, the arm's Nth
+  dispatched slice, and which retry attempt triggers.  Keys are counted
+  parent-side by the fleet runner (an arm never has two slices in
+  flight), so a plan fires identically regardless of worker count,
+  dispatch mode or completion timing — and a point keyed to
+  ``attempt=0`` makes the *retry* of that slice succeed, which is what
+  the recovery-parity tests rely on.  :meth:`FaultPlan.seeded` derives a
+  plan from an RNG seed for randomized-but-reproducible chaos runs.
+- fault *kinds* — ``"raise"`` (an ordinary worker exception, retryable),
+  ``"hang"`` (stall long enough to trip ``slice_timeout``, then proceed
+  normally — the timeout machinery must discard the late result),
+  ``"die"`` (``os._exit`` mid-task: a hard worker crash surfacing as
+  ``BrokenProcessPool``), and ``"crash"`` (an injected
+  :class:`InjectedCrash`, which subclasses ``BaseException`` and is
+  therefore *never* retried — it aborts the fleet like an operator
+  kill, the in-process stand-in for SIGKILL in crash/resume tests).
+- chaos wrappers — :class:`FaultyHarnessFactory` (building the harness
+  fails: the always-raising arm of the quarantine acceptance test) and
+  :class:`ChaosHarnessFactory` (the harness's Nth differential run
+  fires a fault: die-mid-chunk for :class:`~repro.fuzzing.pool.
+  ShardedExecutor` self-healing).  Both are picklable frozen dataclasses
+  so they ship to pool workers like any other factory; ``once_dir``
+  gives :class:`ChaosHarnessFactory` a filesystem latch so a fault fires
+  exactly once even across pool rebuilds (a freshly respawned worker
+  must not re-fire the crash that killed its predecessor, or
+  self-healing could never be observed to succeed).
+
+Everything here is inert unless explicitly injected: the fleet runner
+consults a plan only when one is passed, and the wrappers only wrap what
+tests hand them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Fault kinds a point or wrapper may fire (see module docstring).
+FAULT_KINDS = ("raise", "hang", "die", "crash")
+
+
+class InjectedFault(RuntimeError):
+    """An injected, *retryable* worker failure (an ordinary exception)."""
+
+
+class InjectedCrash(BaseException):
+    """An injected, *fatal* failure: subclasses ``BaseException`` so the
+    fleet's retry machinery never swallows it — the run aborts with
+    checkpoints intact, simulating an operator kill for crash/resume
+    equality tests."""
+
+
+def fire(kind: str, context: str, hang_seconds: float = 0.05) -> None:
+    """Perform one fault action (called at the injection site).
+
+    ``"hang"`` returns normally after stalling — the caller proceeds, and
+    it is the *parent's* timeout machinery that must notice and discard
+    the late work.  The other kinds never return.
+    """
+    if kind == "raise":
+        raise InjectedFault(f"injected fault: {context}")
+    if kind == "crash":
+        raise InjectedCrash(f"injected crash: {context}")
+    if kind == "die":
+        os._exit(17)  # hard worker death: no cleanup, no exception
+    if kind == "hang":
+        time.sleep(hang_seconds)
+        return
+    raise ValueError(f"unknown fault kind {kind!r} (known: {FAULT_KINDS})")
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One scheduled fault: fires on ``arm``'s ``ordinal``-th dispatched
+    slice, but only on retry attempt ``attempt`` — so a point at
+    ``attempt=0`` tests that the retry succeeds, while points covering
+    every attempt test quarantine."""
+
+    arm: int
+    ordinal: int
+    attempt: int = 0
+    kind: str = "raise"
+    hang_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.arm, self.ordinal, self.attempt)
+
+    def fire(self) -> None:
+        fire(self.kind,
+             f"arm {self.arm} slice {self.ordinal} attempt {self.attempt}",
+             self.hang_seconds)
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultPoint`\\ s.
+
+    The fleet runner looks up each dispatch by ``(arm, ordinal,
+    attempt)`` and ships the matching point (if any) with the slice; the
+    worker fires it before touching campaign state, so faulted slices
+    are side-effect-free and retries are idempotent.
+    """
+
+    def __init__(self, points: object = ()) -> None:
+        self.points: tuple[FaultPoint, ...] = tuple(points)
+        self._index: dict[tuple[int, int, int], FaultPoint] = {
+            point.key: point for point in self.points
+        }
+        if len(self._index) != len(self.points):
+            raise ValueError("duplicate fault points (same arm/ordinal/attempt)")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def find(self, arm: int, ordinal: int, attempt: int) -> FaultPoint | None:
+        """The point scheduled for this dispatch, or None."""
+        return self._index.get((arm, ordinal, attempt))
+
+    @classmethod
+    def seeded(cls, seed: int, n_arms: int, n_slices: int,
+               rate: float = 0.2, kinds: object = ("raise",),
+               hang_seconds: float = 0.05) -> "FaultPlan":
+        """A reproducible random plan: each (arm, slice) pair faults on
+        its first attempt with probability ``rate``, with the kind drawn
+        from ``kinds``.  Same seed, same plan — chaos runs stay
+        diffable."""
+        rng = random.Random(seed)
+        kinds = list(kinds)
+        points = []
+        for arm in range(n_arms):
+            for ordinal in range(n_slices):
+                if rng.random() < rate:
+                    points.append(FaultPoint(
+                        arm, ordinal, kind=rng.choice(kinds),
+                        hang_seconds=hang_seconds,
+                    ))
+        return cls(points)
+
+
+# -- chaos wrappers ------------------------------------------------------------
+
+#: Per-process build counters for :class:`FaultyHarnessFactory` (keyed by
+#: label; a frozen dataclass cannot carry its own mutable counter).
+_BUILD_COUNTS: dict[str, int] = {}
+
+
+def reset_build_counts() -> None:
+    """Reset the process-local build counters (test isolation)."""
+    _BUILD_COUNTS.clear()
+
+
+@dataclass(frozen=True)
+class FaultyHarnessFactory:
+    """Picklable chaos wrapper: *building* the harness fires a fault.
+
+    ``fail_builds=-1`` fails every build — the always-raising arm of the
+    quarantine acceptance test; ``fail_builds=N`` fails only the first N
+    builds *in each process* (counters are process-local, keyed by
+    ``label``), after which the inner factory is used normally.
+    """
+
+    factory: object
+    kind: str = "raise"
+    fail_builds: int = -1
+    hang_seconds: float = 0.05
+    label: str = "faulty-harness"
+
+    def __call__(self):
+        count = _BUILD_COUNTS.get(self.label, 0)
+        _BUILD_COUNTS[self.label] = count + 1
+        if self.fail_builds < 0 or count < self.fail_builds:
+            fire(self.kind, f"{self.label}: harness build {count}",
+                 self.hang_seconds)
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class ChaosHarnessFactory:
+    """Picklable chaos wrapper: the harness's ``fail_test``-th
+    ``run_differential`` call fires a fault — ``kind="die"`` is the
+    die-mid-chunk scenario executor self-healing must survive.
+
+    ``once_dir`` (a directory path) makes the fault one-shot *across
+    processes*: a latch file is written just before firing, and any
+    harness that sees the latch skips the fault.  Without it the fault
+    re-fires in every worker that reaches ``fail_test`` — including the
+    respawned worker after a pool rebuild, which would make self-healing
+    look like an infinite crash loop.
+    """
+
+    factory: object
+    fail_test: int = 0
+    kind: str = "die"
+    hang_seconds: float = 0.05
+    once_dir: str | None = None
+    label: str = "chaos-harness"
+
+    def __call__(self):
+        return _ChaosHarness(self.factory(), self)
+
+    @property
+    def latch_path(self) -> Path | None:
+        if self.once_dir is None:
+            return None
+        return Path(self.once_dir) / f"{self.label}.fired"
+
+
+class _ChaosHarness:
+    """Worker-side harness proxy built by :class:`ChaosHarnessFactory`."""
+
+    def __init__(self, inner, config: ChaosHarnessFactory) -> None:
+        self._inner = inner
+        self._config = config
+        self._runs = 0
+
+    @property
+    def total_arms(self) -> int:
+        return self._inner.total_arms
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _take_latch(self) -> bool:
+        """True if this harness should fire (and mark the latch taken)."""
+        latch = self._config.latch_path
+        if latch is None:
+            return True
+        if latch.exists():
+            return False
+        latch.parent.mkdir(parents=True, exist_ok=True)
+        # Written *before* firing: a "die" must not re-fire after respawn.
+        latch.write_text("fired\n")
+        return True
+
+    def run_differential(self, body, *args, **kwargs):
+        ordinal = self._runs
+        self._runs += 1
+        config = self._config
+        if ordinal == config.fail_test and self._take_latch():
+            fire(config.kind, f"{config.label}: test {ordinal}",
+                 config.hang_seconds)
+        return self._inner.run_differential(body, *args, **kwargs)

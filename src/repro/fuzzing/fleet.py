@@ -35,6 +35,17 @@ experiment engine:
   ``final_coverage`` bitmaps, merges their coverage curves onto a shared
   sim-hours epoch, and dedupes mismatch signatures across campaigns
   (classification/attribution tables live in ``repro.analysis.fleet``).
+- fault tolerance — a failed or timed-out slice is retried from its last
+  known state (slices are idempotent: the authoritative state never
+  leaves the parent), worker death (``BrokenProcessPool``) triggers a
+  pool rebuild with only the in-flight slices requeued, and an arm that
+  keeps failing past ``max_retries`` is *quarantined*: excluded from
+  further scheduling, recorded with its terminal exception in
+  :class:`FleetHealth`, while the rest of the fleet runs to completion.
+  Health travels on :class:`FleetStats`/:class:`FleetResult` and in
+  checkpoint manifests (resume never resurrects a quarantined arm).
+  Every recovery path is pinned by deterministic fault injection
+  (:mod:`repro.fuzzing.faults`).  See ROADMAP "Failure semantics".
 
 Nested-pool caveat: campaigns built from specs always run their
 differential step on a :class:`~repro.fuzzing.executor.SerialExecutor` —
@@ -57,13 +68,15 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.fuzzing.campaign import Campaign, CampaignResult, CurvePoint
 from repro.fuzzing.chatfuzz import FuzzLoop
 from repro.fuzzing.executor import SerialExecutor
+from repro.fuzzing.faults import FaultPlan, FaultPoint
 from repro.fuzzing.pool import default_workers
 from repro.fuzzing.scheduler import BudgetScheduler, RoundRobin
 from repro.rtl.bitset import Bitset
@@ -199,6 +212,107 @@ class CampaignSpec:
                      self.use_default_filters))
 
 
+# -- health --------------------------------------------------------------------
+
+
+class SliceTimeout(RuntimeError):
+    """A slice exceeded ``slice_timeout``.  Raised parent-side (a worker
+    cannot time itself out) and fed to the ordinary retry machinery."""
+
+
+@dataclass
+class QuarantinedArm:
+    """One arm removed from scheduling after exhausting its retries.
+
+    ``tests_run`` is where the arm's last good state stops — its partial
+    results still count in the fleet aggregate; ``error`` is the terminal
+    exception of the final attempt (earlier attempts may have failed
+    differently, e.g. a timeout before a raise).
+    """
+
+    arm: int
+    name: str
+    error: str
+    retries: int
+    tests_run: int
+
+
+@dataclass
+class FleetHealth:
+    """Fault-tolerance ledger for one fleet run (and its checkpoints).
+
+    All-zero/empty (``healthy``) on the fault-free path.  Checkpoint
+    manifests persist it via :meth:`state_dict`, so a resumed fleet knows
+    prior retries and — critically — never resurrects a quarantined arm.
+    """
+
+    #: Slices re-dispatched after a retryable failure (includes timeouts).
+    retries: int = 0
+    #: Slices that exceeded ``slice_timeout`` (subset of ``retries`` unless
+    #: the timeout exhausted the retry budget).
+    timeouts: int = 0
+    #: Worker pools discarded and respawned after worker death or a hang.
+    pool_rebuilds: int = 0
+    #: Arms removed from scheduling, in quarantine order.
+    quarantined: list[QuarantinedArm] = field(default_factory=list)
+    #: Checkpoint snapshots dropped by torn-write recovery (human-readable;
+    #: empty unless ``checkpoint_recover`` salvaged a resume).
+    dropped_snapshots: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when the run needed no recovery of any kind."""
+        return not (self.retries or self.timeouts or self.pool_rebuilds
+                    or self.quarantined or self.dropped_snapshots)
+
+    def quarantined_arms(self) -> set[int]:
+        return {record.arm for record in self.quarantined}
+
+    def state_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined": [
+                {"arm": q.arm, "name": q.name, "error": q.error,
+                 "retries": q.retries, "tests_run": q.tests_run}
+                for q in self.quarantined
+            ],
+            "dropped_snapshots": list(self.dropped_snapshots),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FleetHealth":
+        return cls(
+            retries=int(state.get("retries", 0)),
+            timeouts=int(state.get("timeouts", 0)),
+            pool_rebuilds=int(state.get("pool_rebuilds", 0)),
+            quarantined=[
+                QuarantinedArm(arm=int(q["arm"]), name=q["name"],
+                               error=q["error"], retries=int(q["retries"]),
+                               tests_run=int(q["tests_run"]))
+                for q in state.get("quarantined", [])
+            ],
+            dropped_snapshots=list(state.get("dropped_snapshots", [])),
+        )
+
+    def summary(self) -> str:
+        if self.healthy:
+            return "health: ok"
+        parts = [f"{self.retries} retries", f"{self.timeouts} timeouts",
+                 f"{self.pool_rebuilds} pool rebuilds"]
+        if self.dropped_snapshots:
+            parts.append(f"{len(self.dropped_snapshots)} dropped snapshots")
+        lines = ["health: " + ", ".join(parts) +
+                 f", {len(self.quarantined)} quarantined"]
+        lines += [
+            f"  quarantined {q.name!r} (arm {q.arm}) after {q.retries} "
+            f"retries at {q.tests_run} tests: {q.error}"
+            for q in self.quarantined
+        ]
+        return "\n".join(lines)
+
+
 # -- aggregation ---------------------------------------------------------------
 
 
@@ -226,6 +340,9 @@ class FleetStats:
     busy_seconds: float = 0.0
     slices: int = 0
     tests: int = 0
+    #: Fault-tolerance ledger for this call (shared object with the
+    #: :class:`FleetResult` the call returns).
+    health: FleetHealth = field(default_factory=FleetHealth)
 
     @property
     def utilisation(self) -> float:
@@ -238,9 +355,17 @@ class FleetStats:
 
 @dataclass
 class FleetResult:
-    """Aggregated outcome of a fleet run (campaigns in spec order)."""
+    """Aggregated outcome of a fleet run (campaigns in spec order).
+
+    ``health`` records what the fault-tolerance layer had to do: a
+    quarantined arm's campaign entry holds its last good partial state,
+    so aggregates stay well-defined under graceful degradation — check
+    ``health.quarantined`` before treating every arm as having reached
+    its budget.
+    """
 
     campaigns: list[CampaignResult]
+    health: FleetHealth = field(default_factory=FleetHealth)
 
     @property
     def total_tests(self) -> int:
@@ -332,6 +457,8 @@ class FleetResult:
             f"{len(self.unique_signatures)} deduped unique mismatches",
         ]
         lines += [f"  {campaign.summary()}" for campaign in self.campaigns]
+        if not self.health.healthy:
+            lines.append(self.health.summary())
         return "\n".join(lines)
 
 
@@ -362,7 +489,8 @@ def _get_campaign(specs, cache, index: int, fresh: bool) -> Campaign:
     return campaign
 
 
-def _run_slice(campaign: Campaign, n_tests: int, state: dict | None):
+def _run_slice(campaign: Campaign, n_tests: int, state: dict | None,
+               fault: FaultPoint | None = None):
     """Continue one campaign by one slice; returns (new state, snapshot,
     busy seconds).
 
@@ -373,18 +501,46 @@ def _run_slice(campaign: Campaign, n_tests: int, state: dict | None):
     is the wall time this slice held its worker slot (state restore +
     simulation + snapshot), the numerator of
     :attr:`FleetStats.utilisation`.
+
+    An injected ``fault`` fires first, before any campaign state is
+    touched, so faulted slices are side-effect-free and retrying one from
+    the same ``state`` is exact (a ``"hang"`` fault returns and runs the
+    slice normally — its stall is charged to busy seconds, which is what
+    the in-process timeout check inspects).
     """
     started = time.perf_counter()
+    if fault is not None:
+        fault.fire()
     if state is not None:
         campaign.load_state_dict(state)
     result = campaign.run_slice(n_tests)
     return campaign.state_dict(), result, time.perf_counter() - started
 
 
-def _fleet_slice(index: int, n_tests: int, state: dict | None):
+def _fleet_slice(index: int, n_tests: int, state: dict | None,
+                 fault: FaultPoint | None = None):
     campaign = _get_campaign(_WORKER_SPECS, _WORKER_CAMPAIGNS, index,
                              fresh=state is None)
-    return _run_slice(campaign, n_tests, state)
+    return _run_slice(campaign, n_tests, state, fault)
+
+
+@dataclass
+class _SliceTask:
+    """One dispatchable slice plus its fault-tolerance bookkeeping.
+
+    ``ordinal`` counts the arm's dispatches within the current entry-point
+    call (the fault plan's schedule key — retries keep their ordinal and
+    bump ``attempt``); ``deadline`` is the ``time.monotonic()`` instant
+    after which a pooled slice is considered hung (None until submitted,
+    and reset on requeue).
+    """
+
+    arm: int
+    n_tests: int
+    state: dict | None
+    ordinal: int
+    attempt: int = 0
+    deadline: float | None = None
 
 
 # -- checkpointing -------------------------------------------------------------
@@ -410,12 +566,19 @@ class FleetCheckpoint:
     popcount — coverage only ever grows, so equal popcounts mean equal
     bitmaps).  A kill between any two writes therefore leaves a mix that
     :meth:`load_arm` detects and refuses rather than silently resuming
-    from inconsistent state.
+    from inconsistent state.  With ``recover=True`` a torn arm does not
+    block resume: :meth:`recover_arm` falls back to the arm's last
+    *internally* consistent snapshot — the arm files may legitimately be
+    one slice ahead of a manifest the kill pre-empted — and drops the arm
+    (restart from scratch) only when no intact snapshot exists, reporting
+    either way so :class:`FleetHealth` can surface what was lost.
     """
 
-    def __init__(self, directory: Path, specs: Sequence[CampaignSpec]) -> None:
+    def __init__(self, directory: Path, specs: Sequence[CampaignSpec],
+                 recover: bool = False) -> None:
         self.directory = Path(directory)
         self.specs = list(specs)
+        self.recover = recover
 
     def _fingerprints(self) -> list[str]:
         return [spec.fingerprint() for spec in self.specs]
@@ -477,7 +640,8 @@ class FleetCheckpoint:
 
     def save_manifest(self, states: dict[int, dict],
                       scheduler: BudgetScheduler | None,
-                      rounds: int) -> None:
+                      rounds: int,
+                      health: FleetHealth | None = None) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest = {
             "fingerprints": self._fingerprints(),
@@ -487,6 +651,7 @@ class FleetCheckpoint:
                 for index, state in states.items()
             },
             "scheduler": scheduler.state_dict() if scheduler else None,
+            "health": health.state_dict() if health is not None else None,
         }
         self._write_atomic(self.manifest_path,
                            (json.dumps(manifest, indent=2) + "\n").encode())
@@ -556,6 +721,38 @@ class FleetCheckpoint:
             "curve": curve or None,
         }
 
+    def recover_arm(self, index: int,
+                    expected_tests: int) -> tuple[dict | None, str | None]:
+        """Best-effort arm load for torn-write recovery: ``(state, note)``.
+
+        First tries the strict :meth:`load_arm`.  On a tear, retries at
+        the test count the arm's own JSON claims — a kill between the arm
+        writes and the manifest write leaves the arm files intact but
+        *ahead* of the manifest, and that completed work is recoverable.
+        If the arm files disagree among themselves too, the snapshot is
+        unusable: returns ``(None, note)`` and the arm restarts from
+        scratch.  ``note`` is non-None whenever anything was dropped.
+        """
+        try:
+            return self.load_arm(index, expected_tests), None
+        except Exception as torn:
+            try:
+                json_path = self._arm_paths(index)[0]
+                actual = json.loads(json_path.read_text())["tests_run"]
+                if actual != expected_tests:
+                    state = self.load_arm(index, actual)
+                    return state, (
+                        f"arm {index}: manifest said {expected_tests} tests "
+                        f"but found an intact snapshot at {actual}; resumed "
+                        f"from the snapshot"
+                    )
+            except Exception:
+                pass
+            return None, (
+                f"arm {index}: snapshot dropped, restarting the arm from "
+                f"scratch ({torn})"
+            )
+
 
 # -- the runner ----------------------------------------------------------------
 
@@ -580,15 +777,50 @@ class FleetRunner:
         Enables :class:`FleetCheckpoint` snapshots (written incrementally,
         as slices complete) and resume-on-construction: an existing
         compatible checkpoint is loaded and completed work is not redone.
+    checkpoint_recover:
+        Torn-write recovery on resume: instead of refusing a torn arm
+        snapshot, fall back to its last intact state (or restart the arm)
+        and report the loss in ``FleetHealth.dropped_snapshots``.
+    max_retries:
+        Retries per slice after a retryable failure (any ``Exception``,
+        including worker death and timeouts) before the arm is handled
+        per ``quarantine``.  ``0`` disables retrying.  Fault-free runs are
+        unaffected: retry bookkeeping adds no dispatch-path work.
+    retry_backoff:
+        Base of the exponential retry delay: attempt ``k`` sleeps
+        ``retry_backoff * 2**k`` seconds before re-dispatch.  ``0``
+        retries immediately (what the deterministic tests use).
+    slice_timeout:
+        Seconds a slice may hold a worker slot.  Pooled, it is a dispatch
+        deadline — an overdue slice's pool is recycled (a hung worker
+        cannot be interrupted individually) and innocent in-flight slices
+        are requeued without being charged; in-process it is enforced
+        post-hoc on the slice's busy seconds.  Timeouts count as
+        retryable failures.  None (default) disables the mechanism.
+    quarantine:
+        When an arm exhausts its retries: ``True`` (default) quarantines
+        it — the fleet completes with partial results and the failure
+        recorded in ``FleetHealth`` — while ``False`` restores fail-fast
+        (the terminal exception propagates).
+    fault_plan:
+        A :class:`~repro.fuzzing.faults.FaultPlan` of injected faults for
+        chaos testing; None (default) injects nothing.
 
     Every entry point records its dispatch accounting in
     :attr:`last_stats` (wall/busy seconds, slice count, worker
-    utilisation) — the observable the streaming mode improves.
+    utilisation, fault-tolerance health) — the observable the streaming
+    mode improves.
     """
 
     def __init__(self, specs: Sequence[CampaignSpec],
                  n_workers: int | None = None,
-                 checkpoint_dir: str | Path | None = None) -> None:
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_recover: bool = False,
+                 max_retries: int = 2,
+                 retry_backoff: float = 0.05,
+                 slice_timeout: float | None = None,
+                 quarantine: bool = True,
+                 fault_plan: FaultPlan | None = None) -> None:
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("a fleet needs at least one campaign spec")
@@ -598,10 +830,22 @@ class FleetRunner:
         self.n_workers = default_workers() if n_workers is None else n_workers
         if self.n_workers < 0:
             raise ValueError(f"n_workers must be >= 0, got {self.n_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if slice_timeout is not None and slice_timeout <= 0:
+            raise ValueError(
+                f"slice_timeout must be positive or None, got {slice_timeout}"
+            )
         self.checkpoint = (
-            FleetCheckpoint(Path(checkpoint_dir), self.specs)
+            FleetCheckpoint(Path(checkpoint_dir), self.specs,
+                            recover=checkpoint_recover)
             if checkpoint_dir is not None else None
         )
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.slice_timeout = slice_timeout
+        self.quarantine = quarantine
+        self.fault_plan = fault_plan
         #: Dispatch accounting of the most recent run/run_scheduled call.
         self.last_stats = FleetStats(n_workers=self.n_workers)
         self._pool: ProcessPoolExecutor | None = None
@@ -628,11 +872,36 @@ class FleetRunner:
         cancelled, running ones finish and are discarded, and no worker
         processes are left behind (a dispatch loop interrupted this way
         surfaces ``CancelledError`` to its caller rather than hanging).
+        Also safe after worker death — shutting down a broken pool can
+        raise, and that must never mask the error that broke it.
         """
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+
+    def _kill_pool(self) -> None:
+        """Hard-discard the pool (dead or hung) without waiting on it.
+
+        Live worker processes are terminated — a hung worker would
+        otherwise hold its slot (and the machine's core) indefinitely —
+        and the next ``_ensure_pool`` spawns a replacement pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
     def __enter__(self) -> "FleetRunner":
         return self
@@ -642,36 +911,218 @@ class FleetRunner:
 
     # -- dispatch --------------------------------------------------------------
 
-    def _begin_stats(self, mode: str, concurrency: int) -> FleetStats:
+    def _begin_stats(self, mode: str, concurrency: int,
+                     health: FleetHealth) -> FleetStats:
         slots = (1 if self.n_workers == 0
                  else max(1, min(self.n_workers, concurrency)))
         self.last_stats = FleetStats(mode=mode, n_workers=self.n_workers,
-                                     worker_slots=slots)
+                                     worker_slots=slots, health=health)
         return self.last_stats
 
-    def _run_local_slice(self, index: int, n_tests: int, state: dict | None):
+    def _run_local_slice(self, index: int, n_tests: int, state: dict | None,
+                         fault: FaultPoint | None = None):
         """Run one slice in-process on the cached local campaign shell."""
         campaign = _get_campaign(
             self.specs, self._local_campaigns, index, fresh=state is None
         )
-        return _run_slice(campaign, n_tests, state)
+        return _run_slice(campaign, n_tests, state, fault)
 
-    def _dispatch(self, jobs: list[tuple[int, int, dict | None]]):
-        """Barrier dispatch: run every job, results in job order (the round
-        mode's primitive — the streaming loop dispatches futures itself)."""
+    # -- fault-tolerant dispatch -----------------------------------------------
+
+    def _fault_for(self, task: _SliceTask) -> FaultPoint | None:
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.find(task.arm, task.ordinal, task.attempt)
+
+    def _retry_or_quarantine(self, task: _SliceTask, exc: BaseException,
+                             health: FleetHealth,
+                             on_quarantine) -> _SliceTask | None:
+        """Central failure policy: the retry task, or None after
+        quarantining the arm (or a re-raise when neither applies).
+
+        Only ``Exception``s are retryable — ``KeyboardInterrupt``,
+        ``SystemExit`` and other ``BaseException``s (an operator kill)
+        abort the fleet with checkpoints intact.  ``on_quarantine`` (may
+        be None) lets each dispatch loop release its own bookkeeping for
+        the removed arm and persist the decision immediately.
+        """
+        if not isinstance(exc, Exception):
+            raise exc
+        if isinstance(exc, SliceTimeout):
+            health.timeouts += 1
+        if task.attempt < self.max_retries:
+            health.retries += 1
+            if self.retry_backoff > 0:
+                time.sleep(self.retry_backoff * (2 ** task.attempt))
+            return replace(task, attempt=task.attempt + 1, deadline=None)
+        if not self.quarantine:
+            raise exc
+        health.quarantined.append(QuarantinedArm(
+            arm=task.arm,
+            name=self.specs[task.arm].name,
+            error=f"{type(exc).__name__}: {exc}",
+            retries=task.attempt,
+            tests_run=self._state_tests(task.state),
+        ))
+        if on_quarantine is not None:
+            on_quarantine(task)
+        return None
+
+    def _run_task_local(self, task: _SliceTask, health: FleetHealth,
+                        on_quarantine):
+        """In-process execution with retry: ``(task, output)``, or None
+        when the arm was quarantined.
+
+        The timeout is enforced post-hoc on the slice's busy seconds (an
+        in-process slice cannot be interrupted).  Because in-process state
+        dicts share live objects with the parent's ``states`` map, any
+        attempt that might be discarded and retried (a scheduled fault, or
+        any run under a timeout) works on a defensive deep copy, keeping
+        the retry's input state pristine.
+        """
+        while True:
+            fault = self._fault_for(task)
+            state = task.state
+            if state is not None and (fault is not None
+                                      or self.slice_timeout is not None):
+                state = copy.deepcopy(state)
+            try:
+                output = self._run_local_slice(task.arm, task.n_tests,
+                                               state, fault)
+                if (self.slice_timeout is not None
+                        and output[2] > self.slice_timeout):
+                    raise SliceTimeout(
+                        f"arm {task.arm} slice {task.ordinal} busy for "
+                        f"{output[2]:.3f}s > slice_timeout="
+                        f"{self.slice_timeout}s"
+                    )
+                return task, output
+            except BaseException as exc:
+                retry = self._retry_or_quarantine(task, exc, health,
+                                                  on_quarantine)
+                if retry is None:
+                    return None
+                task = retry
+
+    def _submit_task(self, inflight: dict[Future, _SliceTask],
+                     task: _SliceTask, health: FleetHealth) -> None:
+        """Submit one slice to the pool (rebuilding it once if the submit
+        itself finds the pool broken — the task never ran, so no attempt
+        is charged)."""
+        if self.slice_timeout is not None and task.deadline is None:
+            task.deadline = time.monotonic() + self.slice_timeout
+        fault = self._fault_for(task)
+        try:
+            future = self._ensure_pool().submit(
+                _fleet_slice, task.arm, task.n_tests, task.state, fault
+            )
+        except BrokenProcessPool:
+            self._kill_pool()
+            health.pool_rebuilds += 1
+            future = self._ensure_pool().submit(
+                _fleet_slice, task.arm, task.n_tests, task.state, fault
+            )
+        inflight[future] = task
+
+    def _pump(self, inflight: dict[Future, _SliceTask], health: FleetHealth,
+              on_quarantine) -> list[tuple[_SliceTask, tuple]]:
+        """Advance the pooled dispatch loop by one wait: successfully
+        completed ``(task, output)`` pairs, sorted by arm.
+
+        All recovery happens inside: failed slices are retried (requeued
+        into ``inflight``), worker death recycles the pool and requeues
+        every in-flight slice (the pool cannot say which task killed the
+        worker, so each is charged an attempt), an overdue slice recycles
+        the pool with only the overdue arms charged (innocents requeue
+        free — their slices never misbehaved), and exhausted arms are
+        quarantined.  May return an empty list when the wait's progress
+        was recovery rather than completion.
+        """
+        timeout = None
+        if self.slice_timeout is not None:
+            soonest = min(task.deadline for task in inflight.values())
+            timeout = max(0.0, soonest - time.monotonic())
+        done, _ = wait(set(inflight), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+
+        completed: list[tuple[_SliceTask, tuple]] = []
+        failed: list[tuple[_SliceTask, Exception]] = []
+        requeue: list[_SliceTask] = []
+        broken = False
+        # Deterministic handling order among simultaneous completions.
+        for future in sorted(done, key=lambda f: inflight[f].arm):
+            task = inflight.pop(future)
+            try:
+                completed.append((task, future.result()))
+            except BrokenProcessPool as exc:
+                broken = True
+                failed.append((task, exc))
+            except Exception as exc:
+                failed.append((task, exc))
+
+        if broken:
+            # Worker death strands every other in-flight slice on the dead
+            # pool too; recycle once and requeue them all.
+            for task in sorted(inflight.values(), key=lambda t: t.arm):
+                failed.append((task, BrokenProcessPool(
+                    "slice was in flight on a pool a worker death broke"
+                )))
+            inflight.clear()
+            self._kill_pool()
+            health.pool_rebuilds += 1
+        elif self.slice_timeout is not None and inflight:
+            now = time.monotonic()
+            if any(task.deadline <= now for task in inflight.values()):
+                # A hung worker cannot be interrupted individually —
+                # recycle the pool.  Overdue arms are charged a timeout;
+                # the innocent in-flight slices requeue at the same
+                # attempt.
+                for task in sorted(inflight.values(), key=lambda t: t.arm):
+                    if task.deadline <= now:
+                        failed.append((task, SliceTimeout(
+                            f"arm {task.arm} slice {task.ordinal} exceeded "
+                            f"slice_timeout={self.slice_timeout}s"
+                        )))
+                    else:
+                        requeue.append(replace(task, deadline=None))
+                inflight.clear()
+                self._kill_pool()
+                health.pool_rebuilds += 1
+
+        for task, exc in failed:
+            retry = self._retry_or_quarantine(task, exc, health,
+                                              on_quarantine)
+            if retry is not None:
+                requeue.append(retry)
+        for task in requeue:
+            self._submit_task(inflight, task, health)
+        return completed
+
+    def _execute_barrier(self, tasks: list[_SliceTask], health: FleetHealth,
+                         on_quarantine) -> dict[int, tuple]:
+        """Run every task to completion (with retry/healing/quarantine):
+        ``{arm: output}`` — quarantined arms are simply absent.  The round
+        mode's primitive; the streaming loop drives :meth:`_pump` itself.
+        """
         if self._closed:
             raise RuntimeError("FleetRunner is closed")
+        outputs: dict[int, tuple] = {}
         if self.n_workers == 0:
-            return [self._run_local_slice(*job) for job in jobs]
-        pool = self._ensure_pool()
-        futures = [pool.submit(_fleet_slice, index, n_tests, state)
-                   for index, n_tests, state in jobs]
-        outputs = []
+            for task in tasks:
+                finished = self._run_task_local(task, health, on_quarantine)
+                if finished is not None:
+                    outputs[finished[0].arm] = finished[1]
+            return outputs
+        inflight: dict[Future, _SliceTask] = {}
         try:
-            for future in futures:
-                outputs.append(future.result())
+            for task in tasks:
+                self._submit_task(inflight, task, health)
+            while inflight:
+                for task, output in self._pump(inflight, health,
+                                               on_quarantine):
+                    outputs[task.arm] = output
         except BaseException:
-            for future in futures:
+            for future in inflight:
                 future.cancel()
             raise
         return outputs
@@ -683,29 +1134,50 @@ class FleetRunner:
         return 0 if state is None else state["loop"]["tests_run"]
 
     def _load_states(self, scheduler: BudgetScheduler | None):
-        """(states, rounds) from the checkpoint, or fresh when absent."""
+        """(states, rounds, health) from the checkpoint, or fresh.
+
+        ``health`` starts as the persisted ledger (quarantined arms stay
+        quarantined across resume) and keeps accumulating through the
+        run.  In recovery mode a torn arm snapshot falls back to its last
+        intact state via :meth:`FleetCheckpoint.recover_arm` instead of
+        blocking the resume.
+        """
         states: dict[int, dict] = {}
+        health = FleetHealth()
         if self.checkpoint is None:
-            return states, 0
+            return states, 0, health
         manifest = self.checkpoint.load()
         if manifest is None:
-            return states, 0
+            return states, 0, health
+        if manifest.get("health"):
+            health = FleetHealth.from_state_dict(manifest["health"])
         for key, arm in manifest["arms"].items():
-            states[int(key)] = self.checkpoint.load_arm(
-                int(key), arm["tests_run"]
-            )
+            index = int(key)
+            if self.checkpoint.recover:
+                state, note = self.checkpoint.recover_arm(
+                    index, arm["tests_run"]
+                )
+                if note is not None:
+                    health.dropped_snapshots.append(note)
+                if state is not None:
+                    states[index] = state
+            else:
+                states[index] = self.checkpoint.load_arm(
+                    index, arm["tests_run"]
+                )
         if scheduler is not None and manifest["scheduler"] is not None:
             scheduler.load_state_dict(manifest["scheduler"])
-        return states, manifest["rounds"]
+        return states, manifest["rounds"], health
 
     def _save_round(self, states: dict[int, dict],
                     scheduler: BudgetScheduler | None, rounds: int,
-                    dirty: Sequence[int]) -> None:
+                    dirty: Sequence[int],
+                    health: FleetHealth | None = None) -> None:
         if self.checkpoint is None:
             return
         for index in dirty:
             self.checkpoint.save_arm(index, states[index])
-        self.checkpoint.save_manifest(states, scheduler, rounds)
+        self.checkpoint.save_manifest(states, scheduler, rounds, health)
 
     @staticmethod
     def _result_from_state(name: str, state: dict) -> CampaignResult:
@@ -739,60 +1211,72 @@ class FleetRunner:
         pool, gathered in spec order.  Dispatch is event-driven: each
         campaign is checkpointed the moment its slice completes (not at an
         end-of-fleet barrier), so a kill loses only in-flight work.  With a
-        checkpoint, arms that already reached their budget are not re-run.
+        checkpoint, arms that already reached their budget are not re-run,
+        and arms quarantined by a previous run stay quarantined.
         """
         if self._closed:
             raise RuntimeError("FleetRunner is closed")
         started = time.perf_counter()
-        states, rounds = self._load_states(scheduler=None)
-        jobs = []
+        states, rounds, health = self._load_states(scheduler=None)
+        quarantined = health.quarantined_arms()
+        tasks = []
         for index, spec in enumerate(self.specs):
+            if index in quarantined:
+                continue
             remaining = spec.budget_tests - self._state_tests(states.get(index))
             if remaining > 0:
-                jobs.append((index, remaining, states.get(index)))
-        stats = self._begin_stats("whole-budget", concurrency=len(jobs))
+                tasks.append(_SliceTask(index, remaining, states.get(index),
+                                        ordinal=0))
+        stats = self._begin_stats("whole-budget", concurrency=len(tasks),
+                                  health=health)
         results: dict[int, CampaignResult] = {}
+        meta = {"rounds": rounds}
 
-        def fold(index: int, output) -> None:
+        def fold(task: _SliceTask, output) -> None:
             state, result, busy = output
-            ran = result.tests_run - self._state_tests(states.get(index))
-            states[index] = state
-            results[index] = result
+            ran = result.tests_run - self._state_tests(states.get(task.arm))
+            states[task.arm] = state
+            results[task.arm] = result
             stats.busy_seconds += busy
             stats.slices += 1
             stats.tests += ran
-            rounds_now = rounds + len(results)
-            self._save_round(states, None, rounds_now, dirty=[index])
+            meta["rounds"] += 1
+            self._save_round(states, None, meta["rounds"], dirty=[task.arm],
+                             health=health)
+
+        def on_quarantine(task: _SliceTask) -> None:
+            # The arm's last good state (if any) is already in ``states``;
+            # persist the quarantine decision itself right away.
+            self._save_round(states, None, meta["rounds"], dirty=[],
+                             health=health)
 
         if self.n_workers == 0:
-            for job in jobs:
-                fold(job[0], self._run_local_slice(*job))
+            for task in tasks:
+                finished = self._run_task_local(task, health, on_quarantine)
+                if finished is not None:
+                    fold(*finished)
         else:
-            pool = self._ensure_pool()
-            futures = {
-                pool.submit(_fleet_slice, index, n_tests, state): index
-                for index, n_tests, state in jobs
-            }
-            pending = set(futures)
+            inflight: dict[Future, _SliceTask] = {}
             try:
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    # Deterministic fold order among simultaneous arrivals.
-                    for future in sorted(done, key=futures.__getitem__):
-                        fold(futures[future], future.result())
+                for task in tasks:
+                    self._submit_task(inflight, task, health)
+                while inflight:
+                    for task, output in self._pump(inflight, health,
+                                                   on_quarantine):
+                        fold(task, output)
             except BaseException:
-                for future in pending:
+                for future in inflight:
                     future.cancel()
                 raise
         stats.wall_seconds = time.perf_counter() - started
         for index, spec in enumerate(self.specs):
-            if index not in results:  # completed in a previous run (or n=0)
+            if index not in results:  # prior run, quarantined, or n=0
                 results[index] = (
                     self._result_from_state(spec.name, states[index])
                     if index in states else CampaignResult(name=spec.name)
                 )
-        return FleetResult([results[i] for i in range(len(self.specs))])
+        return FleetResult([results[i] for i in range(len(self.specs))],
+                           health=health)
 
     def run_scheduled(self, scheduler: BudgetScheduler | None = None,
                       slice_tests: int = 64,
@@ -830,6 +1314,10 @@ class FleetRunner:
         Stops when every arm reached its ``budget_tests``, the fleet spent
         ``total_tests`` (checked at slice granularity — batch rounding may
         overshoot slightly), or union coverage reached ``target_percent``.
+        An arm that exhausts its retries is quarantined (see the class
+        docstring): it leaves the scheduler's eligible set, its partial
+        state stays in the aggregate, and the remaining arms keep running
+        to their budgets.
         """
         if mode not in ("rounds", "streaming"):
             raise ValueError(
@@ -840,10 +1328,11 @@ class FleetRunner:
         scheduler = scheduler if scheduler is not None else RoundRobin()
         scheduler.bind(len(self.specs))
         started = time.perf_counter()
-        states, rounds = self._load_states(scheduler)
+        states, rounds, health = self._load_states(scheduler)
+        quarantined = health.quarantined_arms()
         concurrency = (concurrent_slices if concurrent_slices is not None
                        else max(1, self.n_workers))
-        stats = self._begin_stats(mode, concurrency)
+        stats = self._begin_stats(mode, concurrency, health)
         union_bits = 0
         universe = 0
         for state in states.values():
@@ -853,6 +1342,12 @@ class FleetRunner:
         spent = sum(self._state_tests(s) for s in states.values())
         box = {"union_bits": union_bits, "universe": universe,
                "spent": spent, "rounds": rounds}
+
+        def on_quarantine(task: _SliceTask) -> None:
+            quarantined.add(task.arm)
+            scheduler.on_arm_quarantined(task.arm)
+            self._save_round(states, scheduler, box["rounds"], dirty=[],
+                             health=health)
 
         def target_reached() -> bool:
             return (target_percent is not None and box["universe"] > 0
@@ -883,29 +1378,36 @@ class FleetRunner:
             if event_driven:
                 box["rounds"] += 1
                 self._save_round(states, scheduler, box["rounds"],
-                                 dirty=[arm])
+                                 dirty=[arm], health=health)
 
         if mode == "streaming":
             self._run_streaming(scheduler, slice_tests, total_tests,
                                 concurrency, states, box, target_reached,
-                                fold_completion)
+                                fold_completion, health, quarantined,
+                                on_quarantine)
         else:
             self._run_rounds(scheduler, slice_tests, total_tests,
                              concurrency, states, box, target_reached,
-                             fold_completion)
+                             fold_completion, health, quarantined,
+                             on_quarantine)
         stats.wall_seconds = time.perf_counter() - started
         return FleetResult([
             self._result_from_state(spec.name, states[index])
             if index in states
             else CampaignResult(name=spec.name)
             for index, spec in enumerate(self.specs)
-        ])
+        ], health=health)
 
     def _run_rounds(self, scheduler, slice_tests, total_tests, concurrency,
-                    states, box, target_reached, fold_completion) -> None:
+                    states, box, target_reached, fold_completion, health,
+                    quarantined, on_quarantine) -> None:
         """The barrier-synchronised scheduling loop (pre-streaming
-        behaviour, bit for bit: same picks, same update order, same
-        round-granular checkpoints)."""
+        behaviour, bit for bit on the fault-free path: same picks, same
+        update order, same round-granular checkpoints).  A quarantined
+        pick simply contributes no output to its round — the budget it
+        reserved was never spent and frees up for the next round's picks.
+        """
+        ordinals: dict[int, int] = {}
         while True:
             if target_reached():
                 break
@@ -913,7 +1415,8 @@ class FleetRunner:
                 break
             available = {
                 index for index, spec in enumerate(self.specs)
-                if self._state_tests(states.get(index)) < spec.budget_tests
+                if index not in quarantined
+                and self._state_tests(states.get(index)) < spec.budget_tests
             }
             if not available:
                 break
@@ -936,29 +1439,40 @@ class FleetRunner:
                 picks.append((arm, n_tests))
             if not picks:
                 break
-            outputs = self._dispatch(
-                [(arm, n_tests, states.get(arm)) for arm, n_tests in picks]
-            )
-            for (arm, _), output in zip(picks, outputs):
-                fold_completion(arm, output, event_driven=False)
+            tasks = []
+            for arm, n_tests in picks:
+                ordinal = ordinals.get(arm, 0)
+                ordinals[arm] = ordinal + 1
+                tasks.append(_SliceTask(arm, n_tests, states.get(arm),
+                                        ordinal=ordinal))
+            outputs = self._execute_barrier(tasks, health, on_quarantine)
+            for arm, _ in picks:
+                if arm in outputs:
+                    fold_completion(arm, outputs[arm], event_driven=False)
             box["rounds"] += 1
             self._save_round(states, scheduler, box["rounds"],
-                             dirty=[arm for arm, _ in picks])
+                             dirty=[arm for arm, _ in picks
+                                    if arm in outputs],
+                             health=health)
 
     def _run_streaming(self, scheduler, slice_tests, total_tests,
                        concurrency, states, box, target_reached,
-                       fold_completion) -> None:
+                       fold_completion, health, quarantined,
+                       on_quarantine) -> None:
         """The futures-based dispatch loop (see :meth:`run_scheduled`).
 
         ``reserved`` counts tests promised to in-flight slices so the
         shared ``total_tests`` cap is respected at dispatch time; an arm
         never has two slices in flight (its state travels with the slice),
-        which is what keeps per-campaign trajectories deterministic.
+        which is what keeps per-campaign trajectories deterministic.  A
+        retried slice keeps its arm in flight (the requeue happens inside
+        :meth:`_pump`); only completion or quarantine releases the slot.
         """
         inflight_arms: set[int] = set()
         reserved = 0
+        ordinals: dict[int, int] = {}
 
-        def pick() -> tuple[int, int] | None:
+        def next_task() -> _SliceTask | None:
             if target_reached():
                 return None
             if (total_tests is not None
@@ -967,6 +1481,7 @@ class FleetRunner:
             eligible = [
                 index for index, spec in enumerate(self.specs)
                 if index not in inflight_arms
+                and index not in quarantined
                 and self._state_tests(states.get(index)) < spec.budget_tests
             ]
             if not eligible:
@@ -982,49 +1497,51 @@ class FleetRunner:
                               total_tests - box["spent"] - reserved)
             if n_tests <= 0:
                 return None
-            return arm, n_tests
+            ordinal = ordinals.get(arm, 0)
+            ordinals[arm] = ordinal + 1
+            return _SliceTask(arm, n_tests, states.get(arm), ordinal=ordinal)
 
         if self.n_workers == 0:
             # One slot: dispatch -> complete -> fold, immediately.  Fully
             # deterministic — the streaming mode's reference trajectory.
             while True:
-                picked = pick()
-                if picked is None:
+                task = next_task()
+                if task is None:
                     break
-                arm, n_tests = picked
-                fold_completion(
-                    arm,
-                    self._run_local_slice(arm, n_tests, states.get(arm)),
-                    event_driven=True,
-                )
+                finished = self._run_task_local(task, health, on_quarantine)
+                if finished is None:
+                    continue  # arm quarantined; keep scheduling the rest
+                fold_completion(task.arm, finished[1], event_driven=True)
             return
 
-        pool = self._ensure_pool()
-        inflight: dict[Future, tuple[int, int]] = {}
+        def release_and_quarantine(task: _SliceTask) -> None:
+            # The quarantined arm leaves flight: free its slot and its
+            # budget reservation before the shared bookkeeping runs.
+            nonlocal reserved
+            inflight_arms.discard(task.arm)
+            reserved -= task.n_tests
+            on_quarantine(task)
+
+        inflight: dict[Future, _SliceTask] = {}
         try:
             while True:
                 while len(inflight) < concurrency:
-                    picked = pick()
-                    if picked is None:
+                    task = next_task()
+                    if task is None:
                         break
-                    arm, n_tests = picked
-                    inflight_arms.add(arm)
-                    reserved += n_tests
-                    future = pool.submit(_fleet_slice, arm, n_tests,
-                                         states.get(arm))
-                    inflight[future] = (arm, n_tests)
+                    inflight_arms.add(task.arm)
+                    reserved += task.n_tests
+                    self._submit_task(inflight, task, health)
                 if not inflight:
                     break
-                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
                 # Stable fold order among simultaneous completions (the
                 # arrival *timing* still varies run-to-run — that is the
                 # documented interleaving nondeterminism).
-                for future in sorted(done, key=lambda f: inflight[f][0]):
-                    arm, n_tests = inflight.pop(future)
-                    inflight_arms.discard(arm)
-                    reserved -= n_tests
-                    fold_completion(arm, future.result(),
-                                    event_driven=True)
+                for task, output in self._pump(inflight, health,
+                                               release_and_quarantine):
+                    inflight_arms.discard(task.arm)
+                    reserved -= task.n_tests
+                    fold_completion(task.arm, output, event_driven=True)
         except BaseException:
             for future in inflight:
                 future.cancel()

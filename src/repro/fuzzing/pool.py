@@ -22,14 +22,21 @@ Design notes
   sharded speedup ceiling on IPC-bound machines (``BENCH_harness.json``).
 - A worker raising mid-chunk fails only that batch: remaining chunk futures
   are cancelled, the original exception propagates to the caller, and the
-  pool stays usable for the next batch.  A worker *dying* (hard crash)
-  surfaces as ``BrokenProcessPool``; the executor must then be closed.
+  pool stays usable for the next batch.
+- A worker *dying* (hard crash) surfaces as ``BrokenProcessPool`` — and the
+  executor **self-heals**: the dead pool is discarded, a fresh one is
+  spawned, and the batch's chunks are resubmitted whole (a batch mutates
+  nothing until its results are folded, so resubmission is idempotent), up
+  to ``max_retries`` rebuilds per batch before the error propagates.
+  ``close()`` is safe and idempotent even when the pool died first — a
+  broken pool is discarded, never re-raised from shutdown.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.fuzzing.executor import DifferentialResult, HarnessExecutor
@@ -62,6 +69,8 @@ class PoolStats:
     batches: int = 0
     tests: int = 0
     chunks: int = 0
+    #: Pools discarded and respawned after worker death (self-healing).
+    rebuilds: int = 0
 
 
 @dataclass
@@ -70,12 +79,18 @@ class SubmittedBatch:
 
     Single-use: :meth:`ShardedExecutor.collect` consumes it.  Multiple
     handles may be outstanding at once (the pool queues excess chunks),
-    which is what the pipelined fuzz loop relies on.
+    which is what the pipelined fuzz loop relies on.  The handle keeps
+    the chunk bodies and the pool *generation* it was submitted to, so
+    ``collect`` can resubmit the whole batch on a rebuilt pool after
+    ``BrokenProcessPool`` — and knows whether the breakage it sees is
+    from the current pool or one another handle already replaced.
     """
 
     futures: list[Future] = field(default_factory=list)
     n_bodies: int = 0
     collected: bool = False
+    chunks: list = field(default_factory=list)
+    generation: int = 0
 
 
 class ShardedExecutor(HarnessExecutor):
@@ -95,10 +110,15 @@ class ShardedExecutor(HarnessExecutor):
         Bodies per worker task.  Defaults to an even split of the batch over
         the workers (one task per worker), which minimises IPC; set it lower
         to improve load balance when per-test simulation cost is very skewed.
+    max_retries:
+        Pool rebuilds allowed per batch after worker death
+        (``BrokenProcessPool``): the dead pool is replaced and the batch's
+        chunks resubmitted whole.  ``0`` restores the old fail-fast
+        behaviour (the breakage propagates on first occurrence).
     """
 
     def __init__(self, harness_factory=None, n_workers: int | None = None,
-                 chunk_size: int | None = None) -> None:
+                 chunk_size: int | None = None, max_retries: int = 1) -> None:
         if harness_factory is not None and not callable(harness_factory):
             raise TypeError(
                 "ShardedExecutor needs a picklable zero-arg factory (e.g. "
@@ -109,9 +129,13 @@ class ShardedExecutor(HarnessExecutor):
         self.n_workers = n_workers if n_workers is not None else default_workers()
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.chunk_size = chunk_size
+        self.max_retries = max_retries
         self.stats = PoolStats()
         self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
         self._total_arms: int | None = None
         self._closed = False
 
@@ -137,11 +161,27 @@ class ShardedExecutor(HarnessExecutor):
             )
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop the current pool (dead or alive) without propagating its
+        shutdown errors; the next ``_ensure_pool`` spawns a fresh one."""
+        pool, self._pool = self._pool, None
+        self._generation += 1
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
     def close(self) -> None:
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                # A pool whose workers died can raise from shutdown; close()
+                # must stay safe and idempotent regardless.
+                pass
 
     # -- interface -------------------------------------------------------------
 
@@ -173,6 +213,8 @@ class ShardedExecutor(HarnessExecutor):
         return SubmittedBatch(
             futures=[pool.submit(_run_chunk, chunk) for chunk in chunks],
             n_bodies=len(bodies),
+            chunks=chunks,
+            generation=self._generation,
         )
 
     def collect(self, handle) -> list[DifferentialResult]:
@@ -186,16 +228,37 @@ class ShardedExecutor(HarnessExecutor):
             # raise CancelledError or block on a dead pool.
             raise RuntimeError("ShardedExecutor is closed")
         results: list[DifferentialResult] = []
-        try:
-            # Gather in submission order: chunks are contiguous slices, so
-            # concatenating their results reconstructs the batch order even
-            # though the chunks *executed* concurrently.
-            for future in handle.futures:
-                results.extend(future.result())
-        except BaseException:
-            for future in handle.futures:
-                future.cancel()
-            raise
+        rebuilds = 0
+        while True:
+            try:
+                # Gather in submission order: chunks are contiguous slices,
+                # so concatenating their results reconstructs the batch order
+                # even though the chunks *executed* concurrently.
+                for future in handle.futures:
+                    results.extend(future.result())
+                break
+            except BrokenProcessPool:
+                # Worker death.  Self-heal: discard the dead pool, spawn a
+                # fresh one, resubmit this batch's chunks whole (a batch
+                # mutates nothing until folded, so resubmission is
+                # idempotent).  The generation check keeps a second
+                # outstanding handle from discarding a pool another collect
+                # already replaced.
+                if rebuilds >= self.max_retries:
+                    raise
+                rebuilds += 1
+                if handle.generation == self._generation:
+                    self._discard_pool()
+                    self.stats.rebuilds += 1
+                results.clear()
+                pool = self._ensure_pool()
+                handle.futures = [pool.submit(_run_chunk, chunk)
+                                  for chunk in handle.chunks]
+                handle.generation = self._generation
+            except BaseException:
+                for future in handle.futures:
+                    future.cancel()
+                raise
         if handle.n_bodies:
             self.stats.batches += 1
             self.stats.tests += handle.n_bodies

@@ -82,6 +82,13 @@ class BudgetScheduler:
         default).  Called the moment the slice finishes — in streaming
         fleets that is completion order, not dispatch order."""
 
+    def on_arm_quarantined(self, arm: int) -> None:
+        """The fleet removed ``arm`` from scheduling after it exhausted
+        its retries (see ``repro.fuzzing.fleet``).  No-op by default —
+        the runner already drops the arm from every future ``eligible``
+        set, so policies only need this hook to rebalance internal state
+        (e.g. redistribute a static split).  The arm never returns."""
+
     # -- round-mode adapters (legacy interface) --------------------------------
 
     def select(self, eligible: Sequence[int]) -> int:
