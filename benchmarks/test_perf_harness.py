@@ -41,6 +41,9 @@ BATCH = 64
 BODY_INSTRUCTIONS = 48
 WORKER_COUNTS = (2, 4, 8)
 REPEATS = 3
+#: Batched golden engine lane width (the end-to-end path under test rides
+#: the vectorised golden ISS; 0 would restore the scalar golden baseline).
+GOLDEN_LANES = 32
 
 
 def _fixed_bodies() -> list[list[int]]:
@@ -74,7 +77,7 @@ def eligible_worker_counts(cores: int) -> list[int]:
 
 @pytest.mark.perf
 def test_harness_tests_per_sec():
-    factory = rocket_harness_factory()
+    factory = rocket_harness_factory(golden_lanes=GOLDEN_LANES)
     bodies = _fixed_bodies()
     cores = os.cpu_count() or 1
     measured_counts = eligible_worker_counts(cores)
@@ -102,6 +105,7 @@ def test_harness_tests_per_sec():
         "benchmark": "harness_tests_per_sec",
         "batch": BATCH,
         "body_instructions": BODY_INSTRUCTIONS,
+        "golden_lanes": GOLDEN_LANES,
         "n_cores": cores,
         "serial_tests_per_sec": round(serial_tps, 1),
         "sharded": {str(n): entry(n) for n in WORKER_COUNTS},

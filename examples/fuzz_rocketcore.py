@@ -12,6 +12,11 @@ pool of N worker processes (each owning its own DUT + golden ISS); results
 are bit-identical to serial, only the wall-clock changes.  Serial wins on a
 single-core machine and for tiny batches — see ROADMAP.md.
 
+With ``--golden-lanes N`` the golden half of every differential batch runs
+on the batched numpy engine (N lockstep lanes; 0 = scalar golden, the
+default).  Also bit-identical — only faster; see the ROADMAP's "Choosing
+golden lane width" guidance for picking N.
+
 To run the whole comparison as parallel *campaigns* instead (one worker
 process per fuzzer arm, with budget scheduling, checkpoint/resume and
 cross-campaign aggregation), use ``examples/run_fleet.py``.
@@ -36,6 +41,9 @@ parser.add_argument("--workers", type=int, default=0, metavar="N",
                          "(0 = serial, the default)")
 parser.add_argument("--tests", type=int, default=300, metavar="N",
                     help="test budget per fuzzer")
+parser.add_argument("--golden-lanes", type=int, default=0, metavar="N",
+                    help="batched golden engine lane width "
+                         "(0 = scalar golden, the default)")
 args = parser.parse_args()
 
 print("training ChatFuzz (three-step pipeline)...")
@@ -49,6 +57,8 @@ pipeline = ChatFuzzPipeline(PipelineConfig(
 pipeline.run_all(make_rocket_harness())
 
 mode = f"{args.workers} workers" if args.workers > 1 else "serial"
+if args.golden_lanes > 0:
+    mode += f", {args.golden_lanes} golden lanes"
 print(f"fuzzing RocketCore: {args.tests} tests per fuzzer ({mode})\n")
 results = {}
 for name, generator in [
@@ -58,7 +68,8 @@ for name, generator in [
 ]:
     executor = (ShardedExecutor(n_workers=args.workers)
                 if args.workers > 1 else None)
-    loop = FuzzLoop(generator, rocket_harness_factory(), batch_size=20,
+    factory = rocket_harness_factory(golden_lanes=args.golden_lanes)
+    loop = FuzzLoop(generator, factory, batch_size=20,
                     executor=executor)
     with Campaign(loop, name) as campaign:
         results[name] = campaign.run_tests(args.tests)

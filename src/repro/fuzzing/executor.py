@@ -183,5 +183,11 @@ class SerialExecutor(HarnessExecutor):
 
     def run_batch(self, bodies: list[list[int]]) -> list[DifferentialResult]:
         harness = self.harness
+        # Whole-batch routing lets a batched golden engine (DutHarness with
+        # golden_lanes > 0) run every golden trace in one vectorised call;
+        # harnesses without the batch method (test stubs) run per body.
+        batched = getattr(harness, "run_differential_batch", None)
+        if batched is not None:
+            return [DifferentialResult(*r) for r in batched(bodies)]
         return [DifferentialResult(*harness.run_differential(body))
                 for body in bodies]

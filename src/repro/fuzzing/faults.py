@@ -261,3 +261,10 @@ class _ChaosHarness:
             fire(config.kind, f"{config.label}: test {ordinal}",
                  config.hang_seconds)
         return self._inner.run_differential(body, *args, **kwargs)
+
+    def run_differential_batch(self, bodies, *args, **kwargs):
+        """Per-body routing, NOT a delegate to the inner batched path: the
+        fault ordinal counts individual tests, and executors that route
+        whole chunks through the batch method must still hit it."""
+        return [self.run_differential(body, *args, **kwargs)
+                for body in bodies]

@@ -131,6 +131,12 @@ class CampaignSpec:
     generator: object = None
     #: HarnessFactory, or a kind string ("rocket"/"boom"); None = rocket.
     harness: object = None
+    #: Lane-group width for the batched golden engine when ``harness`` is a
+    #: kind string or None (0 = scalar golden).  A perf knob only: lane
+    #: width never changes results (batched traces are bit-identical), so
+    #: it is deliberately excluded from :meth:`fingerprint` — checkpoints
+    #: resume fine under a different width.
+    golden_lanes: int = 0
     seed: int = 0
     batch_size: int = 16
     #: Test budget for whole-budget fleet runs (:meth:`FleetRunner.run`)
@@ -145,9 +151,10 @@ class CampaignSpec:
     def harness_factory(self) -> HarnessFactory:
         """Resolve the harness field to a picklable zero-arg factory."""
         if self.harness is None:
-            return harness_factory("rocket")
+            return harness_factory("rocket", golden_lanes=self.golden_lanes)
         if isinstance(self.harness, str):
-            return harness_factory(self.harness)
+            return harness_factory(self.harness,
+                                   golden_lanes=self.golden_lanes)
         if callable(self.harness):
             return self.harness
         raise TypeError(

@@ -51,8 +51,17 @@ def _init_worker(factory) -> None:
 
 
 def _run_chunk(bodies: list[list[int]]) -> list[DifferentialResult]:
-    """Worker-side task: differentially simulate one contiguous chunk."""
+    """Worker-side task: differentially simulate one contiguous chunk.
+
+    A chunk is also the batched golden engine's lane group: harnesses built
+    with ``golden_lanes > 0`` run the chunk's golden traces as one
+    vectorised call, so pool chunking and golden laning compose (see the
+    ROADMAP's "Choosing golden lane width" guidance).
+    """
     harness = _WORKER_HARNESS
+    batched = getattr(harness, "run_differential_batch", None)
+    if batched is not None:
+        return [DifferentialResult(*r) for r in batched(bodies)]
     return [DifferentialResult(*harness.run_differential(body))
             for body in bodies]
 

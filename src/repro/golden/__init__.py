@@ -8,11 +8,15 @@ trap priority, and commit-log tracing.  The differential fuzzing loop
 Public API
 ----------
 - :class:`~repro.golden.simulator.GoldenSimulator` — load + run programs.
+- :class:`~repro.golden.batch.GoldenBatchSimulator` — same results for a
+  whole batch at once, executed as lockstep numpy lanes (falls back to the
+  scalar engine when numpy is unavailable or the batch is tiny).
 - :class:`~repro.golden.trace.CommitTrace` / ``TraceEntry`` — the commit-log
   format shared with the SoC harness.
 - :class:`~repro.golden.memory.SparseMemory` — byte-addressed sparse memory.
 """
 
+from repro.golden.batch import DEFAULT_LANES, LANE_MIN, GoldenBatchSimulator
 from repro.golden.exceptions import Trap
 from repro.golden.memory import SparseMemory
 from repro.golden.simulator import GoldenSimulator, SimConfig
@@ -22,7 +26,10 @@ from repro.golden.trace import CommitTrace, TraceEntry
 __all__ = [
     "ArchState",
     "CommitTrace",
+    "DEFAULT_LANES",
+    "GoldenBatchSimulator",
     "GoldenSimulator",
+    "LANE_MIN",
     "SimConfig",
     "SparseMemory",
     "Trap",

@@ -10,6 +10,7 @@ fuzzers rely on to keep exploring past exceptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.golden.exceptions import Trap
 from repro.golden.executor import execute
@@ -29,6 +30,19 @@ from repro.isa.spec import (
 )
 
 
+@lru_cache(maxsize=1)
+def _handler_image_cached() -> tuple[int, ...]:
+    """Encoded trap-handler stub — fixed, so encoded once per process."""
+    return (
+        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
+        encode("csrrs", rd=31, csr=CSR_MEPC, rs1=0),
+        encode("addi", rd=31, rs1=31, imm=4),
+        encode("csrrw", rd=0, csr=CSR_MEPC, rs1=31),
+        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
+        encode("mret"),
+    )
+
+
 def trap_handler_image() -> list[int]:
     """The trap-handler stub installed at ``TRAP_VECTOR``.
 
@@ -44,14 +58,76 @@ def trap_handler_image() -> list[int]:
         csrrw x31, mscratch, x31   # restore x31
         mret
     """
-    return [
-        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
-        encode("csrrs", rd=31, csr=CSR_MEPC, rs1=0),
-        encode("addi", rd=31, rs1=31, imm=4),
-        encode("csrrw", rd=0, csr=CSR_MEPC, rs1=31),
-        encode("csrrw", rd=31, csr=CSR_MSCRATCH, rs1=31),
-        encode("mret"),
-    ]
+    return list(_handler_image_cached())
+
+
+def step_instruction(
+    state: ArchState,
+    memory: SparseMemory,
+    config: "SimConfig",
+    handler_lo: int,
+    handler_hi: int,
+    traps_taken: int,
+) -> tuple[TraceEntry | None, int, str | None]:
+    """One iteration of the golden run loop: execute a single instruction or
+    take a single trap, advancing ``state``/``memory`` in place.
+
+    Returns ``(entry, traps_taken, stop_reason)`` where ``entry`` is the
+    commit-trace entry to record (``None`` for untraced trap-handler steps),
+    ``traps_taken`` is the updated trap count, and ``stop_reason`` is
+    ``"max_traps"``/``"wfi"`` when the run must stop after this step (the
+    caller owns the ``max_steps`` budget).
+
+    This is the single source of truth for per-instruction semantics: the
+    scalar :class:`GoldenSimulator` loop and the batched engine's lane peel
+    (``repro.golden.batch``) both call it, so the hard cases (traps, CSRs,
+    atomics, misaligned access) have exactly one implementation.
+    """
+    pc = state.pc
+    in_handler = handler_lo <= pc < handler_hi
+
+    word = 0
+    try:
+        word = memory.fetch(pc)
+        instr = decode(word)
+        if instr is None:
+            raise Trap(EXC_ILLEGAL_INSTRUCTION, tval=word)
+        result = execute(state, memory, instr, pc)
+    except Trap as trap:
+        traps_taken += 1
+        entry = TraceEntry(
+            pc=pc,
+            instr=word,
+            priv=state.priv,
+            trap_cause=trap.cause,
+            trap_tval=trap.tval,
+        )
+        state.reservation = None
+        handler_pc = state.csr.enter_trap(trap.cause, pc, trap.tval, state.priv)
+        state.priv = PRV_M
+        state.pc = handler_pc
+        state.csr.tick()
+        if traps_taken >= config.max_traps:
+            return entry, traps_taken, "max_traps"
+        return entry, traps_taken, None
+
+    entry = None
+    if not in_handler or config.trace_handler:
+        rd = result.rd if result.rd not in (None, 0) else None
+        entry = TraceEntry(
+            pc=pc,
+            instr=word,
+            priv=state.priv,
+            rd=rd,
+            rd_value=result.rd_value if rd is not None else 0,
+            mem=result.mem,
+            csr_write=result.csr_write,
+        )
+    state.pc = result.next_pc & WORD_MASK
+    state.csr.tick()
+    if result.halt:
+        return entry, traps_taken, "wfi"
+    return entry, traps_taken, None
 
 
 @dataclass
@@ -93,53 +169,13 @@ class GoldenSimulator:
         traps_taken = 0
 
         for _ in range(self.config.max_steps):
-            pc = state.pc
-            in_handler = handler_lo <= pc < handler_hi
-
-            word = 0
-            try:
-                word = memory.fetch(pc)
-                instr = decode(word)
-                if instr is None:
-                    raise Trap(EXC_ILLEGAL_INSTRUCTION, tval=word)
-                result = execute(state, memory, instr, pc)
-            except Trap as trap:
-                traps_taken += 1
-                entry = TraceEntry(
-                    pc=pc,
-                    instr=word,
-                    priv=state.priv,
-                    trap_cause=trap.cause,
-                    trap_tval=trap.tval,
-                )
+            entry, traps_taken, stop = step_instruction(
+                state, memory, self.config, handler_lo, handler_hi, traps_taken
+            )
+            if entry is not None:
                 trace.append(entry)
-                state.reservation = None
-                handler_pc = state.csr.enter_trap(trap.cause, pc, trap.tval, state.priv)
-                state.priv = PRV_M
-                state.pc = handler_pc
-                state.csr.tick()
-                if traps_taken >= self.config.max_traps:
-                    trace.stop_reason = "max_traps"
-                    break
-                continue
-
-            if not in_handler or self.config.trace_handler:
-                rd = result.rd if result.rd not in (None, 0) else None
-                trace.append(
-                    TraceEntry(
-                        pc=pc,
-                        instr=word,
-                        priv=state.priv,
-                        rd=rd,
-                        rd_value=result.rd_value if rd is not None else 0,
-                        mem=result.mem,
-                        csr_write=result.csr_write,
-                    )
-                )
-            state.pc = result.next_pc & WORD_MASK
-            state.csr.tick()
-            if result.halt:
-                trace.stop_reason = "wfi"
+            if stop is not None:
+                trace.stop_reason = stop
                 break
         else:
             trace.stop_reason = "max_steps"

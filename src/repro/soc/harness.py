@@ -99,12 +99,29 @@ class DutHarness:
     max_steps:
         Execution cap forwarded to the golden model (must match the core's
         own ``params.max_steps`` for trace comparability).
+    golden_lanes:
+        Lane-group width for the batched golden engine
+        (:class:`repro.golden.batch.GoldenBatchSimulator`).  ``0`` (the
+        default) keeps the scalar golden path; any positive width routes
+        :meth:`run_golden_batch` / :meth:`run_differential_batch` through
+        numpy lane execution, which is bit-identical to the scalar engine
+        (pinned by ``tests/golden/test_batch.py``) but several times
+        faster on whole batches.
     """
 
-    def __init__(self, core, max_steps: int = 4096) -> None:
+    def __init__(self, core, max_steps: int = 4096,
+                 golden_lanes: int = 0) -> None:
         self.core = core
         self.max_steps = max_steps
+        self.golden_lanes = golden_lanes
         self.golden = GoldenSimulator(SimConfig(max_steps=max_steps))
+        self._golden_batch = None
+        if golden_lanes > 0:
+            from repro.golden.batch import GoldenBatchSimulator
+
+            self._golden_batch = GoldenBatchSimulator(
+                SimConfig(max_steps=max_steps), lanes=golden_lanes
+            )
 
     @property
     def total_arms(self) -> int:
@@ -125,21 +142,54 @@ class DutHarness:
         golden_trace = self.run_golden(body, base)
         return dut_trace, golden_trace, report
 
+    # -- batched golden path ------------------------------------------------
 
-def make_rocket_harness(params=None) -> DutHarness:
+    def run_golden_batch(self, bodies: list[list[int]],
+                         base: int = DRAM_BASE) -> list[CommitTrace]:
+        """Golden traces for a whole batch of bodies, in order.
+
+        With ``golden_lanes > 0`` the bodies execute as lockstep numpy
+        lanes; otherwise this is the scalar path in a loop.  Either way the
+        traces are bit-identical to ``[self.run_golden(b) for b in bodies]``.
+        """
+        programs = [build_program(body) for body in bodies]
+        if self._golden_batch is not None:
+            return self._golden_batch.run_batch(programs, base)
+        return [self.golden.run(program, base) for program in programs]
+
+    def run_differential_batch(self, bodies: list[list[int]],
+                               base: int = DRAM_BASE):
+        """Batch form of :meth:`run_differential`; results in order.
+
+        The golden side runs as one batched call (the whole point — it is
+        the half of differential simulation the batch engine accelerates);
+        the DUT side stays per-body.  Executors route whole batches here so
+        the speedup survives the executor and fleet layers.
+        """
+        golden_traces = self.run_golden_batch(bodies, base)
+        results = []
+        for body, golden_trace in zip(bodies, golden_traces):
+            dut_trace, report = self.run_dut(body, base)
+            results.append((dut_trace, golden_trace, report))
+        return results
+
+
+def make_rocket_harness(params=None, golden_lanes: int = 0) -> DutHarness:
     """Harness around a (buggy, by default) RocketCore."""
     from repro.soc.rocket import RocketCore, RocketParams
 
     core_params = params or RocketParams()
-    return DutHarness(RocketCore(core_params), max_steps=core_params.max_steps)
+    return DutHarness(RocketCore(core_params), max_steps=core_params.max_steps,
+                      golden_lanes=golden_lanes)
 
 
-def make_boom_harness(params=None) -> DutHarness:
+def make_boom_harness(params=None, golden_lanes: int = 0) -> DutHarness:
     """Harness around a BoomCore."""
     from repro.soc.boom import BoomCore, BoomParams
 
     core_params = params or BoomParams()
-    return DutHarness(BoomCore(core_params), max_steps=core_params.max_steps)
+    return DutHarness(BoomCore(core_params), max_steps=core_params.max_steps,
+                      golden_lanes=golden_lanes)
 
 
 @dataclass(frozen=True)
@@ -156,12 +206,14 @@ class HarnessFactory:
 
     kind: str = "rocket"
     params: object = None
+    #: Lane-group width for the batched golden engine (0 = scalar golden).
+    golden_lanes: int = 0
 
     def __call__(self) -> DutHarness:
         if self.kind == "rocket":
-            return make_rocket_harness(self.params)
+            return make_rocket_harness(self.params, self.golden_lanes)
         if self.kind == "boom":
-            return make_boom_harness(self.params)
+            return make_boom_harness(self.params, self.golden_lanes)
         raise ValueError(f"unknown harness kind: {self.kind!r}")
 
 
@@ -169,7 +221,8 @@ class HarnessFactory:
 HARNESS_KINDS = ("rocket", "boom")
 
 
-def harness_factory(kind: str = "rocket", params=None) -> HarnessFactory:
+def harness_factory(kind: str = "rocket", params=None,
+                    golden_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for any known harness kind.
 
     The generic entry point fleet specs use
@@ -181,14 +234,14 @@ def harness_factory(kind: str = "rocket", params=None) -> HarnessFactory:
         raise ValueError(
             f"unknown harness kind: {kind!r} (expected one of {HARNESS_KINDS})"
         )
-    return HarnessFactory(kind, params)
+    return HarnessFactory(kind, params, golden_lanes)
 
 
-def rocket_harness_factory(params=None) -> HarnessFactory:
+def rocket_harness_factory(params=None, golden_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for :func:`make_rocket_harness`."""
-    return HarnessFactory("rocket", params)
+    return HarnessFactory("rocket", params, golden_lanes)
 
 
-def boom_harness_factory(params=None) -> HarnessFactory:
+def boom_harness_factory(params=None, golden_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for :func:`make_boom_harness`."""
-    return HarnessFactory("boom", params)
+    return HarnessFactory("boom", params, golden_lanes)

@@ -319,3 +319,52 @@ class TestShardedSerialParity:
         assert sharded.final_coverage_percent == serial.final_coverage_percent
         assert sharded.raw_mismatches == serial.raw_mismatches
         assert sharded.unique_mismatches == serial.unique_mismatches
+
+
+class TestBatchedGoldenParity:
+    """The batched golden engine must be invisible to everything downstream:
+    an executor over a ``golden_lanes > 0`` harness produces byte-identical
+    result streams to the scalar-golden executor, serially and sharded."""
+
+    def test_serial_executor_routes_batched_golden(self):
+        gen = TheHuzzGenerator(body_instructions=20, seed=7)
+        bodies = [t.words for t in gen.generate_batch(16)]
+        with SerialExecutor(rocket_harness_factory()) as scalar_ex, \
+                SerialExecutor(rocket_harness_factory(golden_lanes=8)) as batched_ex:
+            assert batched_ex.harness._golden_batch is not None
+            scalar_results = scalar_ex.run_batch(bodies)
+            batched_results = batched_ex.run_batch(bodies)
+        assert len(batched_results) == len(scalar_results)
+        for ref, out in zip(scalar_results, batched_results):
+            assert out.golden_trace.entries == ref.golden_trace.entries
+            assert out.golden_trace.stop_reason == ref.golden_trace.stop_reason
+            assert out.dut_trace.entries == ref.dut_trace.entries
+            assert out.report.hits == ref.report.hits
+
+    def test_fuzz_loop_outcomes_identical(self):
+        def run(golden_lanes):
+            loop = FuzzLoop(
+                TheHuzzGenerator(body_instructions=16, seed=5),
+                rocket_harness_factory(golden_lanes=golden_lanes),
+                batch_size=8,
+            )
+            with loop:
+                return [loop.run_batch() for _ in range(3)]
+
+        for ref, out in zip(run(0), run(16)):
+            assert out.scores == ref.scores
+            assert out.coverages == ref.coverages
+            assert out.mismatch_count == ref.mismatch_count
+            assert out.total_percent == ref.total_percent
+
+    def test_sharded_chunks_ride_batched_golden(self):
+        gen = TheHuzzGenerator(body_instructions=16, seed=3)
+        bodies = [t.words for t in gen.generate_batch(16)]
+        with SerialExecutor(rocket_harness_factory()) as serial_ex:
+            expected = serial_ex.run_batch(bodies)
+        with ShardedExecutor(rocket_harness_factory(golden_lanes=8),
+                             n_workers=2) as sharded_ex:
+            got = sharded_ex.run_batch(bodies)
+        for ref, out in zip(expected, got):
+            assert out.golden_trace.entries == ref.golden_trace.entries
+            assert out.report.hits == ref.report.hits
