@@ -41,9 +41,11 @@ BATCH = 64
 BODY_INSTRUCTIONS = 48
 WORKER_COUNTS = (2, 4, 8)
 REPEATS = 3
-#: Batched golden engine lane width (the end-to-end path under test rides
-#: the vectorised golden ISS; 0 would restore the scalar golden baseline).
+#: Batched engine lane widths (the end-to-end path under test rides the
+#: vectorised golden ISS *and* the vectorised DUT; 0s would restore the
+#: scalar baselines).
 GOLDEN_LANES = 32
+DUT_LANES = 32
 
 
 def _fixed_bodies() -> list[list[int]]:
@@ -77,7 +79,8 @@ def eligible_worker_counts(cores: int) -> list[int]:
 
 @pytest.mark.perf
 def test_harness_tests_per_sec():
-    factory = rocket_harness_factory(golden_lanes=GOLDEN_LANES)
+    factory = rocket_harness_factory(golden_lanes=GOLDEN_LANES,
+                                     dut_lanes=DUT_LANES)
     bodies = _fixed_bodies()
     cores = os.cpu_count() or 1
     measured_counts = eligible_worker_counts(cores)
@@ -106,6 +109,7 @@ def test_harness_tests_per_sec():
         "batch": BATCH,
         "body_instructions": BODY_INSTRUCTIONS,
         "golden_lanes": GOLDEN_LANES,
+        "dut_lanes": DUT_LANES,
         "n_cores": cores,
         "serial_tests_per_sec": round(serial_tps, 1),
         "sharded": {str(n): entry(n) for n in WORKER_COUNTS},

@@ -14,8 +14,9 @@ single-core machine and for tiny batches — see ROADMAP.md.
 
 With ``--golden-lanes N`` the golden half of every differential batch runs
 on the batched numpy engine (N lockstep lanes; 0 = scalar golden, the
-default).  Also bit-identical — only faster; see the ROADMAP's "Choosing
-golden lane width" guidance for picking N.
+default), and ``--dut-lanes N`` does the same for the DUT half (traces and
+coverage reports both).  Also bit-identical — only faster; see the
+ROADMAP's "Choosing lane widths (golden + DUT)" guidance for picking N.
 
 To run the whole comparison as parallel *campaigns* instead (one worker
 process per fuzzer arm, with budget scheduling, checkpoint/resume and
@@ -44,6 +45,9 @@ parser.add_argument("--tests", type=int, default=300, metavar="N",
 parser.add_argument("--golden-lanes", type=int, default=0, metavar="N",
                     help="batched golden engine lane width "
                          "(0 = scalar golden, the default)")
+parser.add_argument("--dut-lanes", type=int, default=0, metavar="N",
+                    help="batched DUT engine lane width "
+                         "(0 = scalar DUT, the default)")
 args = parser.parse_args()
 
 print("training ChatFuzz (three-step pipeline)...")
@@ -59,6 +63,8 @@ pipeline.run_all(make_rocket_harness())
 mode = f"{args.workers} workers" if args.workers > 1 else "serial"
 if args.golden_lanes > 0:
     mode += f", {args.golden_lanes} golden lanes"
+if args.dut_lanes > 0:
+    mode += f", {args.dut_lanes} DUT lanes"
 print(f"fuzzing RocketCore: {args.tests} tests per fuzzer ({mode})\n")
 results = {}
 for name, generator in [
@@ -68,7 +74,8 @@ for name, generator in [
 ]:
     executor = (ShardedExecutor(n_workers=args.workers)
                 if args.workers > 1 else None)
-    factory = rocket_harness_factory(golden_lanes=args.golden_lanes)
+    factory = rocket_harness_factory(golden_lanes=args.golden_lanes,
+                                     dut_lanes=args.dut_lanes)
     loop = FuzzLoop(generator, factory, batch_size=20,
                     executor=executor)
     with Campaign(loop, name) as campaign:

@@ -183,9 +183,10 @@ class SerialExecutor(HarnessExecutor):
 
     def run_batch(self, bodies: list[list[int]]) -> list[DifferentialResult]:
         harness = self.harness
-        # Whole-batch routing lets a batched golden engine (DutHarness with
-        # golden_lanes > 0) run every golden trace in one vectorised call;
-        # harnesses without the batch method (test stubs) run per body.
+        # Whole-batch routing lets the batched engines (DutHarness with
+        # golden_lanes > 0 and/or dut_lanes > 0) run every golden trace —
+        # and every DUT trace+report — in one vectorised call; harnesses
+        # without the batch method (test stubs) run per body.
         batched = getattr(harness, "run_differential_batch", None)
         if batched is not None:
             return [DifferentialResult(*r) for r in batched(bodies)]

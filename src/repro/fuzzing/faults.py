@@ -263,8 +263,21 @@ class _ChaosHarness:
         return self._inner.run_differential(body, *args, **kwargs)
 
     def run_differential_batch(self, bodies, *args, **kwargs):
-        """Per-body routing, NOT a delegate to the inner batched path: the
-        fault ordinal counts individual tests, and executors that route
-        whole chunks through the batch method must still hit it."""
+        """Lane-aware chunk routing with an exact fault ordinal.
+
+        The fault ordinal counts individual tests, so the chunk that
+        contains ``fail_test`` runs per body — executors that route whole
+        chunks through this method must still hit the fault at precisely
+        that test.  Every other chunk delegates to the inner batched path,
+        keeping the ``golden_lanes``/``dut_lanes`` engines vectorised
+        under chaos testing instead of silently degrading them to scalar.
+        """
+        config = self._config
+        start = self._runs
+        fires_here = start <= config.fail_test < start + len(bodies)
+        inner_batch = getattr(self._inner, "run_differential_batch", None)
+        if inner_batch is not None and not fires_here:
+            self._runs += len(bodies)
+            return inner_batch(bodies, *args, **kwargs)
         return [self.run_differential(body, *args, **kwargs)
                 for body in bodies]

@@ -137,6 +137,11 @@ class CampaignSpec:
     #: it is deliberately excluded from :meth:`fingerprint` — checkpoints
     #: resume fine under a different width.
     golden_lanes: int = 0
+    #: Lane-group width for the batched DUT engine (Rocket only; 0 = scalar
+    #: DUT).  Same perf-knob contract as ``golden_lanes``: bit-identical
+    #: traces and coverage at any width, so it is likewise excluded from
+    #: :meth:`fingerprint`.
+    dut_lanes: int = 0
     seed: int = 0
     batch_size: int = 16
     #: Test budget for whole-budget fleet runs (:meth:`FleetRunner.run`)
@@ -151,10 +156,12 @@ class CampaignSpec:
     def harness_factory(self) -> HarnessFactory:
         """Resolve the harness field to a picklable zero-arg factory."""
         if self.harness is None:
-            return harness_factory("rocket", golden_lanes=self.golden_lanes)
+            return harness_factory("rocket", golden_lanes=self.golden_lanes,
+                                   dut_lanes=self.dut_lanes)
         if isinstance(self.harness, str):
             return harness_factory(self.harness,
-                                   golden_lanes=self.golden_lanes)
+                                   golden_lanes=self.golden_lanes,
+                                   dut_lanes=self.dut_lanes)
         if callable(self.harness):
             return self.harness
         raise TypeError(

@@ -53,10 +53,11 @@ def _init_worker(factory) -> None:
 def _run_chunk(bodies: list[list[int]]) -> list[DifferentialResult]:
     """Worker-side task: differentially simulate one contiguous chunk.
 
-    A chunk is also the batched golden engine's lane group: harnesses built
-    with ``golden_lanes > 0`` run the chunk's golden traces as one
-    vectorised call, so pool chunking and golden laning compose (see the
-    ROADMAP's "Choosing golden lane width" guidance).
+    A chunk is also the batched engines' lane group: harnesses built with
+    ``golden_lanes > 0`` run the chunk's golden traces as one vectorised
+    call, and ``dut_lanes > 0`` does the same for the DUT traces and
+    coverage reports, so pool chunking and laning compose (see the
+    ROADMAP's "Choosing lane widths (golden + DUT)" guidance).
     """
     harness = _WORKER_HARNESS
     batched = getattr(harness, "run_differential_batch", None)
@@ -202,10 +203,24 @@ class ShardedExecutor(HarnessExecutor):
             self._total_arms = self._require_factory()().total_arms
         return self._total_arms
 
+    def _lane_width(self) -> int:
+        """Largest lane-group width the bound factory's harnesses use.
+
+        Factories without lane knobs (custom callables, stubs) report 0.
+        """
+        factory = self._factory
+        return max(int(getattr(factory, "golden_lanes", 0) or 0),
+                   int(getattr(factory, "dut_lanes", 0) or 0))
+
     def _chunks(self, bodies: list[list[int]]) -> list[list[list[int]]]:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(bodies) // self.n_workers))  # ceil division
+            # A chunk is also the lane group (see _run_chunk): splitting a
+            # batch below the configured lane width would leave the batched
+            # engines running partially-filled groups, so the even split
+            # only shrinks chunks down to that width, never below it.
+            size = max(size, self._lane_width())
         return [bodies[i:i + size] for i in range(0, len(bodies), size)]
 
     def submit_batch(self, bodies: list[list[int]]) -> SubmittedBatch:

@@ -62,7 +62,13 @@ try:
 except ImportError:  # pragma: no cover - the CI image always has numpy
     _np = None
 
-#: Default lane-group width; see ROADMAP "Choosing golden lane width".
+def _nz1(mask):
+    """``flatnonzero`` for 1-D masks without the ravel/asarray wrapper —
+    the round loop and kind kernels call this dozens of times per step."""
+    return mask.nonzero()[0]
+
+
+#: Default lane-group width; see ROADMAP "Choosing lane widths (golden + DUT)".
 DEFAULT_LANES = 32
 #: Below this many programs per group, vector overhead loses to scalar.
 LANE_MIN = 4
@@ -728,7 +734,7 @@ class _LaneGroup:
         guard = 2 * self.config.max_steps + self.g + 64
         rounds = 0
         while True:
-            act = np.flatnonzero(self.running)
+            act = _nz1(self.running)
             if act.size == 0:
                 break
             if act.size <= tail:
@@ -744,7 +750,7 @@ class _LaneGroup:
     def _round(self, act) -> None:
         np = _np
         c = self.c
-        fnz = np.flatnonzero
+        fnz = _nz1    # 1-D fast path: skips flatnonzero's ravel
         n = act.size
         pcs = self.pc[act]
 
@@ -988,7 +994,8 @@ class _LaneGroup:
         if cnt[K_BIT]:
             p = grp(K_BIT)
             sub = (flags[p] >> F_SUB_SHIFT) & 3
-            v = np.choose(sub, [a[p] ^ b[p], a[p] | b[p], a[p] & b[p]])
+            v = np.where(sub == 0, a[p] ^ b[p],
+                         np.where(sub == 1, a[p] | b[p], a[p] & b[p]))
             gp = gof(p)
             r_val[gp] = v
             r_hasrd[gp] = True
@@ -1009,7 +1016,8 @@ class _LaneGroup:
             srl = np.where(w32, a[p] & c["m32"], a[p]) >> sh
             sra_src = np.where(w32, sx32(a[p]), a[p]).astype(np.int64)
             sra = (sra_src >> sh.astype(np.int64)).astype(np.uint64)
-            v = np.choose((f >> F_SUB_SHIFT) & 3, [left, srl, sra])
+            sub = (f >> F_SUB_SHIFT) & 3
+            v = np.where(sub == 0, left, np.where(sub == 1, srl, sra))
             v = np.where(w32, sx32(v), v)
             gp = gof(p)
             r_val[gp] = v
@@ -1045,7 +1053,10 @@ class _LaneGroup:
             eq = a[p] == b[p]
             lt = a[p].astype(np.int64) < b[p].astype(np.int64)
             ltu = a[p] < b[p]
-            taken = np.choose(cc, [eq, ~eq, lt, ~lt, ltu, ~ltu])
+            # cc is {eq,ne,lt,ge,ltu,geu}: pick the base compare by cc >> 1,
+            # low bit flips the sense — same table np.choose walked, cheaper.
+            taken = (np.where(cc < 2, eq, np.where(cc < 4, lt, ltu))
+                     ^ ((cc & 1) != 0))
             tgt = pcs_it[p] + imm[p]
             mis = taken & ((tgt & c["u3"]) != c["u0"])
             gp = gof(p)
@@ -1234,7 +1245,7 @@ class _LaneGroup:
         ok = ~bad
         views = (self.arena, self.arena16, self.arena32, self.arena64)
         for w in range(4):
-            q = np.flatnonzero(ok & (wl == w))
+            q = _nz1(ok & (wl == w))
             if not q.size:
                 continue
             lanes_q = lanes_it[p][q]
@@ -1303,7 +1314,7 @@ class _LaneGroup:
         if not fine.any():
             return trapped
         for A in np.unique(caddr[fine]).tolist():
-            q = np.flatnonzero(fine & (caddr == A))
+            q = _nz1(fine & (caddr == A))
             lq = lanes_p[q]
             gq = gp[q]
             src = A
@@ -1317,13 +1328,14 @@ class _LaneGroup:
                 old = old + self.steps[lq].astype(np.uint64)
             r_val[gq] = old
             r_hasrd[gq] = True
-            wq = np.flatnonzero(will[q])
+            wq = _nz1(will[q])
             if not wq.size:
                 continue
             op_w = opk[q][wq]
             opd = operand[q][wq]
             old_w = old[wq]
-            wv = np.choose(op_w, [opd, old_w | opd, old_w & ~opd])
+            wv = np.where(op_w == 0, opd,
+                          np.where(op_w == 1, old_w | opd, old_w & ~opd))
             if A == spec.CSR_MSTATUS:
                 wv = wv & np.uint64(MSTATUS_WRITE_MASK)
                 mpp = (wv >> np.uint64(MSTATUS_MPP_SHIFT)) & c["u3"]

@@ -67,6 +67,19 @@ class Bitset:
         """Build from a little-endian packed byte string."""
         return cls(int.from_bytes(data, "little"), nbits)
 
+    @classmethod
+    def from_words(cls, words: Iterable[int], nbits: int = 0) -> "Bitset":
+        """Build from 64-bit words in ascending order — the inverse of
+        :meth:`words`, so vectorised producers (the batched engines'
+        per-lane bitmap rows) collapse to a report without a python-level
+        bit loop."""
+        bits = 0
+        shift = 0
+        for word in words:
+            bits |= int(word) << shift
+            shift += 64
+        return cls(bits, nbits)
+
     # -- packed views ----------------------------------------------------------
 
     def to_int(self) -> int:

@@ -107,21 +107,40 @@ class DutHarness:
         numpy lane execution, which is bit-identical to the scalar engine
         (pinned by ``tests/golden/test_batch.py``) but several times
         faster on whole batches.
+    dut_lanes:
+        Lane-group width for the batched DUT engine
+        (:class:`repro.soc.batch.DutBatchSimulator`).  ``0`` (the default)
+        keeps the scalar DUT; any positive width routes
+        :meth:`run_dut_batch` / :meth:`run_differential_batch` through
+        numpy lane execution producing bit-identical traces *and* coverage
+        reports (pinned by ``tests/soc/test_batch.py``).  Only the Rocket
+        core has a batch engine; BOOM harnesses must leave this at 0.
     """
 
     def __init__(self, core, max_steps: int = 4096,
-                 golden_lanes: int = 0) -> None:
+                 golden_lanes: int = 0, dut_lanes: int = 0) -> None:
         self.core = core
         self.max_steps = max_steps
         self.golden_lanes = golden_lanes
+        self.dut_lanes = dut_lanes
         self.golden = GoldenSimulator(SimConfig(max_steps=max_steps))
         self._golden_batch = None
+        self._dut_batch = None
         if golden_lanes > 0:
             from repro.golden.batch import GoldenBatchSimulator
 
             self._golden_batch = GoldenBatchSimulator(
                 SimConfig(max_steps=max_steps), lanes=golden_lanes
             )
+        if dut_lanes > 0:
+            from repro.soc.batch import DutBatchSimulator
+            from repro.soc.rocket import RocketCore
+
+            if not isinstance(core, RocketCore):
+                raise ValueError(
+                    "dut_lanes requires a RocketCore DUT (BOOM has no "
+                    "batch engine)")
+            self._dut_batch = DutBatchSimulator(core.params, lanes=dut_lanes)
 
     @property
     def total_arms(self) -> int:
@@ -157,34 +176,47 @@ class DutHarness:
             return self._golden_batch.run_batch(programs, base)
         return [self.golden.run(program, base) for program in programs]
 
+    def run_dut_batch(self, bodies: list[list[int]],
+                      base: int = DRAM_BASE) -> list[tuple[CommitTrace, CoverageReport]]:
+        """DUT ``(trace, report)`` pairs for a whole batch, in order.
+
+        With ``dut_lanes > 0`` the bodies execute as lockstep numpy lanes;
+        otherwise this is the scalar path in a loop.  Either way the pairs
+        are bit-identical to ``[self.run_dut(b) for b in bodies]``.
+        """
+        programs = [build_program(body) for body in bodies]
+        if self._dut_batch is not None:
+            return self._dut_batch.run_batch(programs, base)
+        return [self.core.run(program, base) for program in programs]
+
     def run_differential_batch(self, bodies: list[list[int]],
                                base: int = DRAM_BASE):
         """Batch form of :meth:`run_differential`; results in order.
 
-        The golden side runs as one batched call (the whole point — it is
-        the half of differential simulation the batch engine accelerates);
-        the DUT side stays per-body.  Executors route whole batches here so
-        the speedup survives the executor and fleet layers.
+        Each side that has a lane engine configured runs as one batched
+        call; with both ``golden_lanes`` and ``dut_lanes`` set the whole
+        differential chunk is vectorised end to end.  Executors route whole
+        batches here so the speedup survives the executor and fleet layers.
         """
         golden_traces = self.run_golden_batch(bodies, base)
-        results = []
-        for body, golden_trace in zip(bodies, golden_traces):
-            dut_trace, report = self.run_dut(body, base)
-            results.append((dut_trace, golden_trace, report))
-        return results
+        dut_results = self.run_dut_batch(bodies, base)
+        return [(dut_trace, golden_trace, report)
+                for (dut_trace, report), golden_trace
+                in zip(dut_results, golden_traces)]
 
 
-def make_rocket_harness(params=None, golden_lanes: int = 0) -> DutHarness:
+def make_rocket_harness(params=None, golden_lanes: int = 0,
+                        dut_lanes: int = 0) -> DutHarness:
     """Harness around a (buggy, by default) RocketCore."""
     from repro.soc.rocket import RocketCore, RocketParams
 
     core_params = params or RocketParams()
     return DutHarness(RocketCore(core_params), max_steps=core_params.max_steps,
-                      golden_lanes=golden_lanes)
+                      golden_lanes=golden_lanes, dut_lanes=dut_lanes)
 
 
 def make_boom_harness(params=None, golden_lanes: int = 0) -> DutHarness:
-    """Harness around a BoomCore."""
+    """Harness around a BoomCore (scalar DUT only — no batch engine)."""
     from repro.soc.boom import BoomCore, BoomParams
 
     core_params = params or BoomParams()
@@ -208,11 +240,17 @@ class HarnessFactory:
     params: object = None
     #: Lane-group width for the batched golden engine (0 = scalar golden).
     golden_lanes: int = 0
+    #: Lane-group width for the batched DUT engine (0 = scalar DUT;
+    #: Rocket only — BOOM harnesses ignore it with a loud error).
+    dut_lanes: int = 0
 
     def __call__(self) -> DutHarness:
         if self.kind == "rocket":
-            return make_rocket_harness(self.params, self.golden_lanes)
+            return make_rocket_harness(self.params, self.golden_lanes,
+                                       self.dut_lanes)
         if self.kind == "boom":
+            if self.dut_lanes:
+                raise ValueError("dut_lanes requires the rocket harness")
             return make_boom_harness(self.params, self.golden_lanes)
         raise ValueError(f"unknown harness kind: {self.kind!r}")
 
@@ -222,7 +260,8 @@ HARNESS_KINDS = ("rocket", "boom")
 
 
 def harness_factory(kind: str = "rocket", params=None,
-                    golden_lanes: int = 0) -> HarnessFactory:
+                    golden_lanes: int = 0,
+                    dut_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for any known harness kind.
 
     The generic entry point fleet specs use
@@ -234,12 +273,15 @@ def harness_factory(kind: str = "rocket", params=None,
         raise ValueError(
             f"unknown harness kind: {kind!r} (expected one of {HARNESS_KINDS})"
         )
-    return HarnessFactory(kind, params, golden_lanes)
+    if dut_lanes and kind != "rocket":
+        raise ValueError("dut_lanes requires the rocket harness")
+    return HarnessFactory(kind, params, golden_lanes, dut_lanes)
 
 
-def rocket_harness_factory(params=None, golden_lanes: int = 0) -> HarnessFactory:
+def rocket_harness_factory(params=None, golden_lanes: int = 0,
+                           dut_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for :func:`make_rocket_harness`."""
-    return HarnessFactory("rocket", params, golden_lanes)
+    return HarnessFactory("rocket", params, golden_lanes, dut_lanes)
 
 
 def boom_harness_factory(params=None, golden_lanes: int = 0) -> HarnessFactory:

@@ -55,6 +55,29 @@ _STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
 _CAUSE_CONDITIONS = (0, 1, 2, 3, 4, 5, 6, 7, 8, 11)
 
 
+class RunState:
+    """Loop state of one :meth:`RocketCore.run` — the per-cycle step hook's
+    working set.
+
+    Everything the scalar run loop used to keep in locals lives here so
+    that :meth:`RocketCore.step_cycle` can execute exactly one loop
+    iteration at a time.  That is the shared per-instruction step hook the
+    batched engine (``repro.soc.batch``) peels hard lanes to, exactly as
+    ``golden.batch`` peels to ``step_instruction``: the batch side splices
+    lane state into a :class:`RunState`, steps the retained scalar core,
+    and splices the result back — hard-case semantics keep one
+    implementation.
+    """
+
+    __slots__ = (
+        "memory", "state", "trace", "handler_lo", "handler_hi",
+        "iterations", "cycles", "traps_taken", "prev1", "prev2",
+        "muldiv_busy_until", "store_buffer", "dep_chain", "prev_wrote_sp",
+        "branch_taken_counts", "link_stack", "ra_saved", "branch_outcomes",
+        "csrs_written", "last_muldiv_was_mul", "prev_was_cmp_rd",
+    )
+
+
 class RocketCore(Module):
     """In-order RV64IMA_Zicsr core with condition coverage (see module doc)."""
 
@@ -220,29 +243,45 @@ class RocketCore(Module):
 
     def run(self, program: list[int], base: int = DRAM_BASE) -> tuple[CommitTrace, CoverageReport]:
         """Simulate one test program; returns (commit trace, coverage report)."""
-        p = self.params
+        rs = self.begin_run(program, base)
+        while self.step_cycle(rs):
+            pass
+        return self.finish_run(rs)
+
+    def begin_run(self, program: list[int], base: int = DRAM_BASE,
+                  memory: SparseMemory | None = None) -> RunState:
+        """Reset the core and build the loop state for one run.
+
+        ``memory`` lets the batched engine substitute a lane-arena-backed
+        view; the default builds a fresh :class:`SparseMemory` with the
+        program and trap handler loaded.
+        """
         self.reset()
         self.cov.begin_run()
 
-        memory = SparseMemory()
-        memory.load_program(program, base)
-        memory.load_program(trap_handler_image(), TRAP_VECTOR)
-        state = ArchState(pc=base)
-        trace = CommitTrace()
+        rs = RunState()
+        if memory is None:
+            memory = SparseMemory()
+            memory.load_program(program, base)
+            memory.load_program(trap_handler_image(), TRAP_VECTOR)
+        rs.memory = memory
+        rs.state = ArchState(pc=base)
+        rs.trace = CommitTrace()
 
-        handler_lo = TRAP_VECTOR
-        handler_hi = TRAP_VECTOR + 4 * len(trap_handler_image())
+        rs.handler_lo = TRAP_VECTOR
+        rs.handler_hi = TRAP_VECTOR + 4 * len(trap_handler_image())
 
-        cycles = 0
-        traps_taken = 0
+        rs.iterations = 0
+        rs.cycles = 0
+        rs.traps_taken = 0
         # (rd, was_load, was_muldiv) of the previous two retired instructions.
-        prev1: tuple[int | None, bool, bool] = (None, False, False)
-        prev2: tuple[int | None, bool, bool] = (None, False, False)
-        muldiv_busy_until = 0
-        store_buffer: list[int] = []
-        dep_chain = 0
-        prev_wrote_sp = False
-        branch_taken_counts: dict[int, int] = {}
+        rs.prev1 = (None, False, False)
+        rs.prev2 = (None, False, False)
+        rs.muldiv_busy_until = 0
+        rs.store_buffer = []
+        rs.dep_chain = 0
+        rs.prev_wrote_sp = False
+        rs.branch_taken_counts = {}
         self._hit_streak = 0
         self._last_line: int | None = None
         # Deep-FSM trackers (see the condition block in __init__).
@@ -255,256 +294,273 @@ class RocketCore(Module):
         self._amo_rd: int | None = None
         self._amo_age = 0
         self._prev_load_missed = False
-        link_stack: list[int] = []
-        ra_saved = False
-        branch_outcomes: dict[int, set[bool]] = {}
-        csrs_written: set[int] = set()
-        last_muldiv_was_mul = False
-        prev_was_cmp_rd: int | None = None
+        rs.link_stack = []
+        rs.ra_saved = False
+        rs.branch_outcomes = {}
+        rs.csrs_written = set()
+        rs.last_muldiv_was_mul = False
+        rs.prev_was_cmp_rd = None
+        return rs
 
-        for _ in range(p.max_steps):
-            pc = state.pc
-            in_handler = handler_lo <= pc < handler_hi
+    def finish_run(self, rs: RunState) -> tuple[CommitTrace, CoverageReport]:
+        """Seal a finished run into (commit trace, coverage report)."""
+        rs.trace.cycles = rs.cycles
+        return rs.trace, CoverageReport.from_coverage(self.cov, rs.cycles)
 
-            self.irq.poll()
-            cycles += 1  # base CPI of 1
+    def step_cycle(self, rs: RunState) -> bool:
+        """Execute exactly one run-loop iteration (the shared step hook).
 
-            # ---------------- fetch (through the I$: Bug1 lives here) -------
-            word, fetch_cycles, fault = self._fetch(pc, memory)
-            cycles += fetch_cycles
-            if fault:
-                cycles += p.trap_penalty
-                traps_taken += 1
-                self._trap_conditions(EXC_INSTR_ACCESS_FAULT)
-                trace.append(TraceEntry(pc=pc, instr=0, priv=state.priv,
-                                        trap_cause=EXC_INSTR_ACCESS_FAULT,
-                                        trap_tval=pc))
-                state.reservation = None
-                state.pc = state.csr.enter_trap(
-                    EXC_INSTR_ACCESS_FAULT, pc, pc, state.priv)
-                state.priv = PRV_M
-                state.csr.tick()
-                if traps_taken >= p.max_traps:
-                    trace.stop_reason = "max_traps"
-                    break
-                continue
+        Returns True while the run should continue; False once a stop
+        reason has been recorded on ``rs.trace``.  One iteration is one
+        fetch attempt: a retired instruction, or a trap entry.
+        """
+        p = self.params
+        if rs.iterations >= p.max_steps:
+            rs.trace.stop_reason = "max_steps"
+            return False
+        rs.iterations += 1
 
-            # ---------------- decode ----------------------------------------
-            instr = decode(word)
-            self._decode_conditions(instr, word)
-            if instr is None:
-                cycles += p.trap_penalty
-                traps_taken += 1
-                self._trap_conditions(EXC_ILLEGAL_INSTRUCTION)
-                trace.append(TraceEntry(pc=pc, instr=word, priv=state.priv,
-                                        trap_cause=EXC_ILLEGAL_INSTRUCTION,
-                                        trap_tval=word))
-                state.reservation = None
-                state.pc = state.csr.enter_trap(
-                    EXC_ILLEGAL_INSTRUCTION, pc, word, state.priv)
-                state.priv = PRV_M
-                state.csr.tick()
-                if traps_taken >= p.max_traps:
-                    trace.stop_reason = "max_traps"
-                    break
-                continue
+        state = rs.state
+        memory = rs.memory
+        trace = rs.trace
+        pc = state.pc
+        in_handler = rs.handler_lo <= pc < rs.handler_hi
 
-            spec = instr.spec
+        self.irq.poll()
+        rs.cycles += 1  # base CPI of 1
 
-            # ---------------- hazards ---------------------------------------
-            # Condition values are computed up front, the timing bookkeeping
-            # runs on them, and the whole group is recorded as one packed
-            # mask (recording has no side effects, so ordering is free).
-            rs1 = instr.rs1 if spec.reads_rs1 else None
-            rs2 = instr.rs2 if spec.reads_rs2 else None
-            raw1_ex = rs1 is not None and rs1 != 0 and rs1 == prev1[0]
-            raw2_ex = rs2 is not None and rs2 != 0 and rs2 == prev1[0]
-            load_use = (raw1_ex or raw2_ex) and prev1[1]
-            if load_use:
-                cycles += 1
-            muldiv_stall = spec.is_muldiv and cycles < muldiv_busy_until
-            if muldiv_stall:
-                cycles = muldiv_busy_until
-            if raw1_ex or raw2_ex:
-                dep_chain += 1
-            else:
-                dep_chain = 1 if spec.writes_rd else 0
-            (p_raw1_ex, p_raw2_ex, p_raw1_mem, p_raw2_mem, p_load_use,
-             p_muldiv, p_chain3, p_chain5, p_sp_use, p_lu_miss,
-             ) = self._hazard_pairs
-            self.cov.record_mask(
-                p_raw1_ex[raw1_ex]
-                | p_raw2_ex[raw2_ex]
-                | p_raw1_mem[rs1 is not None and rs1 != 0 and rs1 == prev2[0]]
-                | p_raw2_mem[rs2 is not None and rs2 != 0 and rs2 == prev2[0]]
-                | p_load_use[load_use]
-                | p_muldiv[muldiv_stall]
-                | p_chain3[dep_chain >= 3]
-                | p_chain5[dep_chain >= 5]
-                | p_sp_use[bool(prev_wrote_sp and rs1 == 2)]
-                | p_lu_miss[bool(load_use and self._prev_load_missed)]
-            )
-            prev_wrote_sp = spec.writes_rd and instr.rd == 2
-            if spec.is_muldiv:
-                self.cond("execute.muldiv_chain",
-                          (raw1_ex or raw2_ex) and prev1[2])
-                divlike_now = spec.mnemonic.startswith(("div", "rem"))
-                self.cond("execute.div_after_mul",
-                          divlike_now and last_muldiv_was_mul
-                          and cycles < muldiv_busy_until + p.mul_latency)
-                last_muldiv_was_mul = not divlike_now
-
-            # CSR-unit pre-checks (access legality conditions).
-            if spec.is_csr:
-                self.cond("csr.read_only_violation",
-                          csr_is_read_only(instr.csr)
-                          and not (spec.mnemonic in ("csrrs", "csrrc") and instr.rs1 == 0)
-                          and not (spec.mnemonic in ("csrrsi", "csrrci") and instr.zimm == 0))
-                self.cond("csr.priv_violation",
-                          state.priv < csr_min_privilege(instr.csr))
-                self.cond("csr.counter_read",
-                          instr.csr in (CSR_CYCLE, CSR_TIME, CSR_INSTRET))
-            self.cond("csr.in_user_mode", state.priv == PRV_U)
-
-            # ---------------- execute ---------------------------------------
-            predicted = False
-            if spec.is_branch:
-                predicted = self.predictor.predict(pc)
-            prv_before = state.priv
-            try:
-                result = execute(state, memory, instr, pc)
-            except Trap as trap:
-                trap = self._adjust_trap_priority(trap, instr, memory)
-                cycles += p.trap_penalty
-                traps_taken += 1
-                self._trap_conditions(trap.cause)
-                self._mem_fault_conditions(instr, trap)
-                trace.append(TraceEntry(pc=pc, instr=word, priv=prv_before,
-                                        trap_cause=trap.cause,
-                                        trap_tval=trap.tval))
-                state.reservation = None
-                store_buffer.clear()
-                state.pc = state.csr.enter_trap(trap.cause, pc, trap.tval, prv_before)
-                state.priv = PRV_M
-                state.csr.tick()
-                prev1, prev2 = (None, False, False), prev1
-                if traps_taken >= p.max_traps:
-                    trace.stop_reason = "max_traps"
-                    break
-                continue
-
-            self.cond("csr.trap_taken", False)
-            cycles += self._execute_conditions(instr, result, state, pc)
-            cycles += self._memory_model(instr, result, memory, store_buffer)
-
-            if spec.is_branch:
-                taken = result.next_pc != (pc + 4) & WORD_MASK
-                self.predictor.update(pc, taken, predicted)
-                if taken != predicted:
-                    cycles += p.mispredict_penalty
-                if taken:
-                    branch_taken_counts[pc] = branch_taken_counts.get(pc, 0) + 1
-                self.cond("frontend.loop_iteration",
-                          taken and branch_taken_counts.get(pc, 0) >= 2)
-                self.cond("frontend.tight_loop",
-                          taken and -64 <= instr.imm < 0)
-                self.cond("execute.beq_taken",
-                          spec.mnemonic == "beq" and taken)
-                outcomes = branch_outcomes.setdefault(pc, set())
-                outcomes.add(taken)
-                self.cond("frontend.branch_both_ways", len(outcomes) == 2)
-                self.cond("execute.branch_after_cmp",
-                          prev_was_cmp_rd is not None
-                          and prev_was_cmp_rd in (instr.rs1, instr.rs2))
-            if spec.is_jump:
-                self.cond("execute.link_reg_used", instr.rd == 1)
-                if spec.mnemonic == "jal" and instr.rd == 1:
-                    self.cond("frontend.call_depth2",
-                              ra_saved and bool(link_stack))
-                    link_stack.append((pc + 4) & WORD_MASK)
-                    del link_stack[:-8]
-                if spec.mnemonic == "jalr":
-                    via_link = instr.rs1 == 1 and bool(link_stack)
-                    self.cond("frontend.jalr_to_link", via_link)
-                    is_return = (
-                        via_link and instr.rd == 0
-                        and link_stack and result.next_pc == link_stack[-1]
-                    )
-                    self.cond("frontend.call_return_pair", is_return)
-                    if is_return:
-                        link_stack.pop()
-            prev_was_cmp_rd = (
-                instr.rd
-                if spec.mnemonic in ("slt", "sltu", "slti", "sltiu") and instr.rd
-                else None
-            )
-            if spec.is_store and instr.rs2 == 1:
-                ra_saved = True
-            elif spec.is_load and instr.rd == 1:
-                ra_saved = False
-            if spec.is_csr:
-                self.cond("csr.write_read_roundtrip",
-                          not in_handler and instr.csr in csrs_written)
-                will_write = result.csr_write is not None
-                self.cond("csr.mepc_user_write",
-                          not in_handler and will_write
-                          and instr.csr == CSR_MEPC)
-                mpp_cleared = (
-                    will_write and instr.csr == CSR_MSTATUS
-                    and result.csr_write[1] & 0x1800 == 0
-                )
-                self.cond("csr.mstatus_mpp_clear", mpp_cleared)
-                if will_write and not in_handler:
-                    csrs_written.add(instr.csr)
-            self.cond("frontend.redirect",
-                      result.next_pc != (pc + 4) & WORD_MASK)
-
-            if spec.mnemonic == "fence.i":
-                dirty = any(
-                    line.dirty for ways in self.dcache.lines for line in ways
-                )
-                self.cond("mem.fencei_flush", True)
-                self.cond("mem.fencei_dirty", dirty)
-                self.icache.invalidate_all()
-                cycles += p.fencei_penalty
-            elif spec.is_fence:
-                self.cond("mem.fencei_flush", False)
-
-            self.cond("csr.mret", spec.mnemonic == "mret")
-            self.cond("csr.enter_user",
-                      spec.mnemonic == "mret" and state.priv == PRV_U)
-            self.cond("csr.wfi", result.halt)
-            self.cond("csr.write", result.csr_write is not None)
-
-            # ---------------- retire ----------------------------------------
-            if not in_handler:
-                trace.append(self.tracer.retire(pc, instr, prv_before, result))
-            if spec.is_muldiv:
-                latency = (
-                    p.div_latency if spec.mnemonic.startswith(("div", "rem"))
-                    else p.mul_latency
-                )
-                muldiv_busy_until = cycles + latency
-            prev1, prev2 = (
-                (result.rd if result.rd else None, spec.is_load, spec.is_muldiv),
-                prev1,
-            )
-            state.pc = result.next_pc & WORD_MASK
+        # ---------------- fetch (through the I$: Bug1 lives here) -------
+        word, fetch_cycles, fault = self._fetch(pc, memory)
+        rs.cycles += fetch_cycles
+        if fault:
+            rs.cycles += p.trap_penalty
+            rs.traps_taken += 1
+            self._trap_conditions(EXC_INSTR_ACCESS_FAULT)
+            trace.append(TraceEntry(pc=pc, instr=0, priv=state.priv,
+                                    trap_cause=EXC_INSTR_ACCESS_FAULT,
+                                    trap_tval=pc))
+            state.reservation = None
+            state.pc = state.csr.enter_trap(
+                EXC_INSTR_ACCESS_FAULT, pc, pc, state.priv)
+            state.priv = PRV_M
             state.csr.tick()
-            if p.timed_counter_csr:
-                # Expose the timed cycle count through mcycle — realistic,
-                # but a false-positive source vs. the untimed golden model.
-                delta = cycles - state.csr.raw_read(CSR_MCYCLE)
-                if delta > 0:
-                    state.csr.tick(cycles=delta, instret=0)
-            if result.halt:
-                trace.stop_reason = "wfi"
-                break
-        else:
-            trace.stop_reason = "max_steps"
+            if rs.traps_taken >= p.max_traps:
+                trace.stop_reason = "max_traps"
+                return False
+            return True
 
-        trace.cycles = cycles
-        return trace, CoverageReport.from_coverage(self.cov, cycles)
+        # ---------------- decode ----------------------------------------
+        instr = decode(word)
+        self._decode_conditions(instr, word)
+        if instr is None:
+            rs.cycles += p.trap_penalty
+            rs.traps_taken += 1
+            self._trap_conditions(EXC_ILLEGAL_INSTRUCTION)
+            trace.append(TraceEntry(pc=pc, instr=word, priv=state.priv,
+                                    trap_cause=EXC_ILLEGAL_INSTRUCTION,
+                                    trap_tval=word))
+            state.reservation = None
+            state.pc = state.csr.enter_trap(
+                EXC_ILLEGAL_INSTRUCTION, pc, word, state.priv)
+            state.priv = PRV_M
+            state.csr.tick()
+            if rs.traps_taken >= p.max_traps:
+                trace.stop_reason = "max_traps"
+                return False
+            return True
+
+        spec = instr.spec
+
+        # ---------------- hazards ---------------------------------------
+        # Condition values are computed up front, the timing bookkeeping
+        # runs on them, and the whole group is recorded as one packed
+        # mask (recording has no side effects, so ordering is free).
+        rs1 = instr.rs1 if spec.reads_rs1 else None
+        rs2 = instr.rs2 if spec.reads_rs2 else None
+        raw1_ex = rs1 is not None and rs1 != 0 and rs1 == rs.prev1[0]
+        raw2_ex = rs2 is not None and rs2 != 0 and rs2 == rs.prev1[0]
+        load_use = (raw1_ex or raw2_ex) and rs.prev1[1]
+        if load_use:
+            rs.cycles += 1
+        muldiv_stall = spec.is_muldiv and rs.cycles < rs.muldiv_busy_until
+        if muldiv_stall:
+            rs.cycles = rs.muldiv_busy_until
+        if raw1_ex or raw2_ex:
+            rs.dep_chain += 1
+        else:
+            rs.dep_chain = 1 if spec.writes_rd else 0
+        (p_raw1_ex, p_raw2_ex, p_raw1_mem, p_raw2_mem, p_load_use,
+         p_muldiv, p_chain3, p_chain5, p_sp_use, p_lu_miss,
+         ) = self._hazard_pairs
+        self.cov.record_mask(
+            p_raw1_ex[raw1_ex]
+            | p_raw2_ex[raw2_ex]
+            | p_raw1_mem[rs1 is not None and rs1 != 0 and rs1 == rs.prev2[0]]
+            | p_raw2_mem[rs2 is not None and rs2 != 0 and rs2 == rs.prev2[0]]
+            | p_load_use[load_use]
+            | p_muldiv[muldiv_stall]
+            | p_chain3[rs.dep_chain >= 3]
+            | p_chain5[rs.dep_chain >= 5]
+            | p_sp_use[bool(rs.prev_wrote_sp and rs1 == 2)]
+            | p_lu_miss[bool(load_use and self._prev_load_missed)]
+        )
+        rs.prev_wrote_sp = spec.writes_rd and instr.rd == 2
+        if spec.is_muldiv:
+            self.cond("execute.muldiv_chain",
+                      (raw1_ex or raw2_ex) and rs.prev1[2])
+            divlike_now = spec.mnemonic.startswith(("div", "rem"))
+            self.cond("execute.div_after_mul",
+                      divlike_now and rs.last_muldiv_was_mul
+                      and rs.cycles < rs.muldiv_busy_until + p.mul_latency)
+            rs.last_muldiv_was_mul = not divlike_now
+
+        # CSR-unit pre-checks (access legality conditions).
+        if spec.is_csr:
+            self.cond("csr.read_only_violation",
+                      csr_is_read_only(instr.csr)
+                      and not (spec.mnemonic in ("csrrs", "csrrc") and instr.rs1 == 0)
+                      and not (spec.mnemonic in ("csrrsi", "csrrci") and instr.zimm == 0))
+            self.cond("csr.priv_violation",
+                      state.priv < csr_min_privilege(instr.csr))
+            self.cond("csr.counter_read",
+                      instr.csr in (CSR_CYCLE, CSR_TIME, CSR_INSTRET))
+        self.cond("csr.in_user_mode", state.priv == PRV_U)
+
+        # ---------------- execute ---------------------------------------
+        predicted = False
+        if spec.is_branch:
+            predicted = self.predictor.predict(pc)
+        prv_before = state.priv
+        try:
+            result = execute(state, memory, instr, pc)
+        except Trap as trap:
+            trap = self._adjust_trap_priority(trap, instr, memory)
+            rs.cycles += p.trap_penalty
+            rs.traps_taken += 1
+            self._trap_conditions(trap.cause)
+            self._mem_fault_conditions(instr, trap)
+            trace.append(TraceEntry(pc=pc, instr=word, priv=prv_before,
+                                    trap_cause=trap.cause,
+                                    trap_tval=trap.tval))
+            state.reservation = None
+            rs.store_buffer.clear()
+            state.pc = state.csr.enter_trap(trap.cause, pc, trap.tval, prv_before)
+            state.priv = PRV_M
+            state.csr.tick()
+            rs.prev1, rs.prev2 = (None, False, False), rs.prev1
+            if rs.traps_taken >= p.max_traps:
+                trace.stop_reason = "max_traps"
+                return False
+            return True
+
+        self.cond("csr.trap_taken", False)
+        rs.cycles += self._execute_conditions(instr, result, state, pc)
+        rs.cycles += self._memory_model(instr, result, memory, rs.store_buffer)
+
+        if spec.is_branch:
+            taken = result.next_pc != (pc + 4) & WORD_MASK
+            self.predictor.update(pc, taken, predicted)
+            if taken != predicted:
+                rs.cycles += p.mispredict_penalty
+            if taken:
+                rs.branch_taken_counts[pc] = rs.branch_taken_counts.get(pc, 0) + 1
+            self.cond("frontend.loop_iteration",
+                      taken and rs.branch_taken_counts.get(pc, 0) >= 2)
+            self.cond("frontend.tight_loop",
+                      taken and -64 <= instr.imm < 0)
+            self.cond("execute.beq_taken",
+                      spec.mnemonic == "beq" and taken)
+            outcomes = rs.branch_outcomes.setdefault(pc, set())
+            outcomes.add(taken)
+            self.cond("frontend.branch_both_ways", len(outcomes) == 2)
+            self.cond("execute.branch_after_cmp",
+                      rs.prev_was_cmp_rd is not None
+                      and rs.prev_was_cmp_rd in (instr.rs1, instr.rs2))
+        if spec.is_jump:
+            self.cond("execute.link_reg_used", instr.rd == 1)
+            if spec.mnemonic == "jal" and instr.rd == 1:
+                self.cond("frontend.call_depth2",
+                          rs.ra_saved and bool(rs.link_stack))
+                rs.link_stack.append((pc + 4) & WORD_MASK)
+                del rs.link_stack[:-8]
+            if spec.mnemonic == "jalr":
+                via_link = instr.rs1 == 1 and bool(rs.link_stack)
+                self.cond("frontend.jalr_to_link", via_link)
+                is_return = (
+                    via_link and instr.rd == 0
+                    and rs.link_stack and result.next_pc == rs.link_stack[-1]
+                )
+                self.cond("frontend.call_return_pair", is_return)
+                if is_return:
+                    rs.link_stack.pop()
+        rs.prev_was_cmp_rd = (
+            instr.rd
+            if spec.mnemonic in ("slt", "sltu", "slti", "sltiu") and instr.rd
+            else None
+        )
+        if spec.is_store and instr.rs2 == 1:
+            rs.ra_saved = True
+        elif spec.is_load and instr.rd == 1:
+            rs.ra_saved = False
+        if spec.is_csr:
+            self.cond("csr.write_read_roundtrip",
+                      not in_handler and instr.csr in rs.csrs_written)
+            will_write = result.csr_write is not None
+            self.cond("csr.mepc_user_write",
+                      not in_handler and will_write
+                      and instr.csr == CSR_MEPC)
+            mpp_cleared = (
+                will_write and instr.csr == CSR_MSTATUS
+                and result.csr_write[1] & 0x1800 == 0
+            )
+            self.cond("csr.mstatus_mpp_clear", mpp_cleared)
+            if will_write and not in_handler:
+                rs.csrs_written.add(instr.csr)
+        self.cond("frontend.redirect",
+                  result.next_pc != (pc + 4) & WORD_MASK)
+
+        if spec.mnemonic == "fence.i":
+            dirty = any(
+                line.dirty for ways in self.dcache.lines for line in ways
+            )
+            self.cond("mem.fencei_flush", True)
+            self.cond("mem.fencei_dirty", dirty)
+            self.icache.invalidate_all()
+            rs.cycles += p.fencei_penalty
+        elif spec.is_fence:
+            self.cond("mem.fencei_flush", False)
+
+        self.cond("csr.mret", spec.mnemonic == "mret")
+        self.cond("csr.enter_user",
+                  spec.mnemonic == "mret" and state.priv == PRV_U)
+        self.cond("csr.wfi", result.halt)
+        self.cond("csr.write", result.csr_write is not None)
+
+        # ---------------- retire ----------------------------------------
+        if not in_handler:
+            trace.append(self.tracer.retire(pc, instr, prv_before, result))
+        if spec.is_muldiv:
+            latency = (
+                p.div_latency if spec.mnemonic.startswith(("div", "rem"))
+                else p.mul_latency
+            )
+            rs.muldiv_busy_until = rs.cycles + latency
+        rs.prev1, rs.prev2 = (
+            (result.rd if result.rd else None, spec.is_load, spec.is_muldiv),
+            rs.prev1,
+        )
+        state.pc = result.next_pc & WORD_MASK
+        state.csr.tick()
+        if p.timed_counter_csr:
+            # Expose the timed cycle count through mcycle — realistic,
+            # but a false-positive source vs. the untimed golden model.
+            delta = rs.cycles - state.csr.raw_read(CSR_MCYCLE)
+            if delta > 0:
+                state.csr.tick(cycles=delta, instret=0)
+        if result.halt:
+            trace.stop_reason = "wfi"
+            return False
+        return True
 
     # ---------------------------------------------------------------- fetch --
 

@@ -124,6 +124,29 @@ class TestShardedExecutor:
             executor.run_batch(_bodies(10))
             assert executor.stats.chunks == 4  # ceil(10/4)=3 -> 3,3,3,1
 
+    def test_default_chunking_never_splits_below_lane_width(self):
+        # Even-split would give ceil(64/4)=16-body chunks, starving the
+        # 32-lane engines; auto-sizing must widen to max(lanes, even_split).
+        executor = ShardedExecutor(
+            rocket_harness_factory(golden_lanes=32, dut_lanes=8), n_workers=4)
+        chunks = executor._chunks(_bodies(64))
+        assert [len(c) for c in chunks] == [32, 32]
+        # Larger batches keep the even split once it exceeds the lane width.
+        assert [len(c) for c in executor._chunks(_bodies(256))] == [64] * 4
+        executor.close()
+
+    def test_explicit_chunk_size_overrides_lane_width(self):
+        executor = ShardedExecutor(
+            rocket_harness_factory(golden_lanes=32), n_workers=4,
+            chunk_size=8)
+        assert [len(c) for c in executor._chunks(_bodies(32))] == [8] * 4
+        executor.close()
+
+    def test_laneless_factories_keep_plain_even_split(self):
+        executor = ShardedExecutor(rocket_harness_factory(), n_workers=4)
+        assert [len(c) for c in executor._chunks(_bodies(10))] == [3, 3, 3, 1]
+        executor.close()
+
     def test_empty_batch(self):
         with ShardedExecutor(rocket_harness_factory(), n_workers=2) as executor:
             assert executor.run_batch([]) == []
@@ -366,5 +389,58 @@ class TestBatchedGoldenParity:
                              n_workers=2) as sharded_ex:
             got = sharded_ex.run_batch(bodies)
         for ref, out in zip(expected, got):
+            assert out.golden_trace.entries == ref.golden_trace.entries
+            assert out.report.hits == ref.report.hits
+
+
+class TestBatchedDutParity:
+    """Same invisibility contract for the batched DUT engine: with
+    ``dut_lanes > 0`` (alone or stacked with ``golden_lanes``) the result
+    stream — DUT traces *and* coverage reports — is byte-identical."""
+
+    def test_serial_executor_routes_batched_dut(self):
+        gen = TheHuzzGenerator(body_instructions=20, seed=7)
+        bodies = [t.words for t in gen.generate_batch(16)]
+        with SerialExecutor(rocket_harness_factory()) as scalar_ex, \
+                SerialExecutor(rocket_harness_factory(dut_lanes=8)) as batched_ex:
+            assert batched_ex.harness._dut_batch is not None
+            scalar_results = scalar_ex.run_batch(bodies)
+            batched_results = batched_ex.run_batch(bodies)
+        assert len(batched_results) == len(scalar_results)
+        for ref, out in zip(scalar_results, batched_results):
+            assert out.dut_trace.entries == ref.dut_trace.entries
+            assert out.dut_trace.stop_reason == ref.dut_trace.stop_reason
+            assert out.golden_trace.entries == ref.golden_trace.entries
+            assert out.report.hits == ref.report.hits
+            assert out.report.cycles == ref.report.cycles
+
+    def test_fuzz_loop_outcomes_identical_both_lanes(self):
+        def run(golden_lanes, dut_lanes):
+            loop = FuzzLoop(
+                TheHuzzGenerator(body_instructions=16, seed=5),
+                rocket_harness_factory(golden_lanes=golden_lanes,
+                                       dut_lanes=dut_lanes),
+                batch_size=8,
+            )
+            with loop:
+                return [loop.run_batch() for _ in range(3)]
+
+        for ref, out in zip(run(0, 0), run(16, 16)):
+            assert out.scores == ref.scores
+            assert out.coverages == ref.coverages
+            assert out.mismatch_count == ref.mismatch_count
+            assert out.total_percent == ref.total_percent
+
+    def test_sharded_chunks_ride_batched_dut(self):
+        gen = TheHuzzGenerator(body_instructions=16, seed=3)
+        bodies = [t.words for t in gen.generate_batch(16)]
+        with SerialExecutor(rocket_harness_factory()) as serial_ex:
+            expected = serial_ex.run_batch(bodies)
+        with ShardedExecutor(rocket_harness_factory(golden_lanes=8,
+                                                    dut_lanes=8),
+                             n_workers=2) as sharded_ex:
+            got = sharded_ex.run_batch(bodies)
+        for ref, out in zip(expected, got):
+            assert out.dut_trace.entries == ref.dut_trace.entries
             assert out.golden_trace.entries == ref.golden_trace.entries
             assert out.report.hits == ref.report.hits

@@ -191,6 +191,47 @@ class TestChaosWrappers:
             with pytest.raises(InjectedFault):
                 chaos().run_differential([0x13])
 
+    def test_chaos_batch_fires_at_exact_ordinal_mid_chunk(self):
+        chaos = ChaosHarnessFactory(rocket_harness_factory(), fail_test=5,
+                                    kind="raise", label="mid-chunk")
+        harness = chaos()
+        harness.run_differential_batch([[0x13]] * 4)  # ordinals 0-3: clean
+        with pytest.raises(InjectedFault, match="test 5"):
+            harness.run_differential_batch([[0x13]] * 4)  # 4-7: fires at 5
+
+    def test_chaos_batch_keeps_lanes_batched_off_fault_chunk(self):
+        """Chunks without the fault ordinal must delegate to the inner
+        batched engines (dut_lanes/golden_lanes stay vectorised)."""
+        chaos = ChaosHarnessFactory(
+            rocket_harness_factory(golden_lanes=4, dut_lanes=4),
+            fail_test=4, kind="raise", label="lanes-on")
+        harness = chaos()
+        calls = []
+        inner_batched = harness._inner.run_differential_batch
+
+        def spying(bodies, *args, **kwargs):
+            calls.append(len(bodies))
+            return inner_batched(bodies, *args, **kwargs)
+
+        harness._inner.run_differential_batch = spying
+        clean = harness.run_differential_batch([[0x13]] * 4)  # 0-3: clean
+        assert calls == [4], "fault-free chunk must stay one batched call"
+        scalar = rocket_harness_factory()().run_differential_batch([[0x13]])
+        assert clean[0][0] == scalar[0][0]  # proxy returns real results
+        with pytest.raises(InjectedFault):
+            harness.run_differential_batch([[0x13]] * 4)  # 4-7: per body
+        assert calls == [4], "fault chunk must not reach the batched path"
+
+    def test_chaos_batch_ordinals_advance_on_delegated_chunks(self):
+        chaos = ChaosHarnessFactory(rocket_harness_factory(dut_lanes=2),
+                                    fail_test=2, kind="raise",
+                                    label="advance")
+        harness = chaos()
+        harness.run_differential_batch([[0x13]] * 2)  # 0-1 delegated
+        assert harness._runs == 2
+        with pytest.raises(InjectedFault, match="test 2"):
+            harness.run_differential_batch([[0x13]] * 2)
+
 
 class TestHealthRecord:
     def test_state_dict_round_trip(self):

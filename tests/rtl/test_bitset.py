@@ -27,6 +27,19 @@ class TestConstruction:
         bs = Bitset.from_iterable({1, 2})
         assert Bitset.from_iterable(bs) == bs
 
+    def test_from_words_roundtrip(self):
+        bs = Bitset.from_iterable({0, 9, 63, 64, 130}, nbits=192)
+        again = Bitset.from_words(bs.words(), nbits=192)
+        assert again == bs
+
+    def test_from_words_accepts_numpy_uint64(self):
+        np = pytest.importorskip("numpy")
+        row = np.array([1 << 63, 0, 3], dtype=np.uint64)
+        assert Bitset.from_words(row) == {63, 128, 129}
+
+    def test_from_words_empty(self):
+        assert Bitset.from_words([]) == set()
+
     def test_negative_bits_rejected(self):
         with pytest.raises(ValueError):
             Bitset(-1)

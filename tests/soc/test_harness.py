@@ -1,5 +1,7 @@
 """DUT harness: program image construction and differential running."""
 
+import pytest
+
 from repro.golden.simulator import GoldenSimulator
 from repro.isa.decoder import decode
 from repro.isa.encoder import encode
@@ -7,6 +9,7 @@ from repro.isa.spec import DATA_BASE, DRAM_BASE
 from repro.soc.harness import (
     TERMINATOR,
     build_program,
+    make_boom_harness,
     make_rocket_harness,
     preamble_words,
 )
@@ -116,3 +119,31 @@ class TestDifferentialRun:
                 muldiv_arm = 2 * i + 1  # true arm
         assert muldiv_arm in first.hits
         assert muldiv_arm not in second.hits
+
+
+class TestBatchedLanes:
+    BODIES = [[encode("addi", rd=10, rs1=0, imm=i)] for i in range(8)]
+
+    def test_dut_lanes_batch_matches_scalar(self):
+        scalar = make_rocket_harness().run_differential_batch(self.BODIES)
+        lanes = make_rocket_harness(
+            golden_lanes=4, dut_lanes=4).run_differential_batch(self.BODIES)
+        for (dt0, gt0, r0), (dt1, gt1, r1) in zip(scalar, lanes):
+            assert dt1.entries == dt0.entries
+            assert gt1.entries == gt0.entries
+            assert r1.hits == r0.hits and r1.cycles == r0.cycles
+
+    def test_run_dut_batch_matches_run_dut(self):
+        harness = make_rocket_harness(dut_lanes=4)
+        batch = harness.run_dut_batch(self.BODIES)
+        for body, (trace, report) in zip(self.BODIES, batch):
+            ref_trace, ref_report = make_rocket_harness().run_dut(body)
+            assert trace.entries == ref_trace.entries
+            assert report.hits == ref_report.hits
+
+    def test_boom_rejects_dut_lanes(self):
+        make_boom_harness()  # scalar BOOM is fine
+        with pytest.raises(ValueError, match="dut_lanes"):
+            from repro.soc.boom.core import BoomCore
+            from repro.soc.harness import DutHarness
+            DutHarness(BoomCore(), dut_lanes=4)
