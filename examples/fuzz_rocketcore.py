@@ -32,6 +32,8 @@ from repro.fuzzing.campaign import Campaign
 from repro.fuzzing.chatfuzz import FuzzLoop
 from repro.fuzzing.pool import ShardedExecutor
 from repro.ml.lm_training import LMTrainConfig
+from repro.obs.events import NULL_SINK
+from repro.obs.store import ResultsStore
 from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
 from repro.ml.transformer import GPT2Config
 from repro.soc.harness import make_rocket_harness, rocket_harness_factory
@@ -48,7 +50,19 @@ parser.add_argument("--golden-lanes", type=int, default=0, metavar="N",
 parser.add_argument("--dut-lanes", type=int, default=0, metavar="N",
                     help="batched DUT engine lane width "
                          "(0 = scalar DUT, the default)")
+parser.add_argument("--store", metavar="DIR", default=None,
+                    help="append structured telemetry (per-phase batch "
+                         "timings, coverage points, mismatch discoveries, "
+                         "coverage bitmaps) to a results store at DIR; "
+                         "inspect with python -m repro.obs.dashboard "
+                         "--store DIR [--report]")
 args = parser.parse_args()
+
+sink = NULL_SINK
+if args.store is not None:
+    store = ResultsStore(args.store)
+    sink = store.sink()
+    print(f"results store: {store.directory}")
 
 print("training ChatFuzz (three-step pipeline)...")
 pipeline = ChatFuzzPipeline(PipelineConfig(
@@ -77,10 +91,15 @@ for name, generator in [
     factory = rocket_harness_factory(golden_lanes=args.golden_lanes,
                                      dut_lanes=args.dut_lanes)
     loop = FuzzLoop(generator, factory, batch_size=20,
-                    executor=executor)
+                    executor=executor, sink=sink)
     with Campaign(loop, name) as campaign:
         results[name] = campaign.run_tests(args.tests)
+    if sink.enabled:
+        sink.save_coverage(name, results[name].final_coverage)
     print(" ", results[name].summary())
+
+if sink.enabled:
+    sink.close()
 
 rows = []
 for fraction in (0.2, 0.5, 1.0):

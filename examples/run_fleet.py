@@ -15,6 +15,7 @@ Run:  python examples/run_fleet.py [--tests N] [--workers W]
           [--seeds K] [--no-chatfuzz] [--max-retries N]
           [--slice-timeout S] [--no-quarantine]
           [--chaos-seed SEED] [--chaos-rate P] [--chaos-kinds K[,K]]
+          [--store DIR] [--dashboard PORT]
 
 Useful shapes:
 
@@ -34,6 +35,14 @@ Useful shapes:
   raise,hang,die`` for hung slices and worker deaths) to watch the fleet
   retry, recycle its pool and quarantine — the run should still complete
   and, fault kinds permitting, match the fault-free result bit-for-bit.
+- ``--store results/`` streams structured telemetry into a durable
+  results store (events + coverage bitmaps; survives kills, appends
+  across resumes — combine with ``--checkpoint`` for resumable runs with
+  a persistent history), and ``--dashboard 8080`` serves the live
+  dashboard over it at http://127.0.0.1:8080/ while the fleet runs
+  (``--dashboard 0`` picks a free port).  Both work with either dispatch
+  mode.  Inspect a finished store headlessly with
+  ``python -m repro.obs.dashboard --store results/ --report``.
 """
 
 import argparse
@@ -49,6 +58,9 @@ from repro.analysis.report import format_table
 from repro.fuzzing.faults import FaultPlan
 from repro.fuzzing.fleet import CampaignSpec, FleetRunner
 from repro.fuzzing.scheduler import BanditScheduler, RoundRobin
+from repro.obs.dashboard import DashboardServer
+from repro.obs.events import NULL_SINK
+from repro.obs.store import ResultsStore
 from repro.ml.lm_training import LMTrainConfig
 from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
 from repro.ml.transformer import GPT2Config
@@ -91,6 +103,14 @@ parser.add_argument("--seeds", type=int, default=1, metavar="K",
                     help="seed-sweep: K arms per fuzzer kind")
 parser.add_argument("--no-chatfuzz", action="store_true",
                     help="skip ChatFuzz (and its training step)")
+parser.add_argument("--store", metavar="DIR", default=None,
+                    help="append structured telemetry (events + coverage "
+                         "bitmaps) to a durable results store at DIR; "
+                         "resumed runs append to the same store")
+parser.add_argument("--dashboard", type=int, default=None, metavar="PORT",
+                    help="serve the live dashboard over the results store "
+                         "on PORT while the fleet runs (0 = pick a free "
+                         "port; requires --store)")
 
 fault = parser.add_argument_group(
     "fault tolerance / chaos testing",
@@ -184,22 +204,41 @@ placement = f"{args.workers} campaign workers" if args.workers else "in-process"
 print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests "
       f"({placement}, scheduler={args.scheduler}, mode={args.mode})\n")
 
-with FleetRunner(specs, n_workers=args.workers,
-                 checkpoint_dir=args.checkpoint,
-                 checkpoint_recover=args.recover_checkpoint,
-                 max_retries=args.max_retries,
-                 slice_timeout=args.slice_timeout,
-                 quarantine=not args.no_quarantine,
-                 fault_plan=fault_plan) as fleet:
-    if args.scheduler == "none":
-        result = fleet.run()
-    else:
-        scheduler = (RoundRobin() if args.scheduler == "roundrobin"
-                     else BanditScheduler(exploration=0.1))
-        result = fleet.run_scheduled(scheduler,
-                                     slice_tests=args.slice_tests,
-                                     mode=args.mode)
-    stats = fleet.last_stats
+if args.dashboard is not None and args.store is None:
+    parser.error("--dashboard requires --store")
+
+sink = NULL_SINK
+dashboard = None
+if args.store is not None:
+    store = ResultsStore(args.store)
+    sink = store.sink()
+    print(f"results store: {store.directory}")
+    if args.dashboard is not None:
+        dashboard = DashboardServer(store, port=args.dashboard).start()
+        print(f"dashboard: {dashboard.url}")
+
+try:
+    with FleetRunner(specs, n_workers=args.workers,
+                     checkpoint_dir=args.checkpoint,
+                     checkpoint_recover=args.recover_checkpoint,
+                     max_retries=args.max_retries,
+                     slice_timeout=args.slice_timeout,
+                     quarantine=not args.no_quarantine,
+                     fault_plan=fault_plan,
+                     sink=sink) as fleet:
+        if args.scheduler == "none":
+            result = fleet.run()
+        else:
+            scheduler = (RoundRobin() if args.scheduler == "roundrobin"
+                         else BanditScheduler(exploration=0.1))
+            result = fleet.run_scheduled(scheduler,
+                                         slice_tests=args.slice_tests,
+                                         mode=args.mode)
+        stats = fleet.last_stats
+finally:
+    sink.close()
+    if dashboard is not None:
+        dashboard.stop()
 
 print(result.summary())
 print()

@@ -66,6 +66,8 @@ _MISALIGNED_TO_FAULT = {
 def classify_mismatch(mismatch: Mismatch) -> BugMatch | None:
     """Attribute one mismatch to a known behaviour, or None if unexplained."""
     signature = mismatch.signature
+    if not signature:
+        return None  # degenerate/foreign signature: unexplained, not a crash
     kind = signature[0]
     if kind == "instr_word":
         return KNOWN_BUGS["BUG1"]

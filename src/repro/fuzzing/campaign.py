@@ -116,12 +116,19 @@ class Campaign:
         self.close()
 
     def _snapshot(self, result: CampaignResult) -> None:
-        result.curve.append(CurvePoint(
+        point = CurvePoint(
             tests=self.loop.tests_run,
             sim_hours=self.loop.clock.hours,
             coverage_percent=self.loop.total_percent,
             hits=self.loop.calculator.cumulative.hits,
-        ))
+        )
+        result.curve.append(point)
+        if self.loop.sink.enabled:
+            self.loop.sink.emit(
+                "coverage_point", campaign=self.name, tests=point.tests,
+                sim_hours=point.sim_hours,
+                coverage_percent=point.coverage_percent,
+            )
 
     def _finalize(self, result: CampaignResult) -> CampaignResult:
         result.tests_run = self.loop.tests_run

@@ -30,6 +30,7 @@ ones learn from a stream delayed by one batch (pinned by
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.coverage.calculator import CoverageCalculator, InputCoverage
@@ -38,6 +39,7 @@ from repro.fuzzing.executor import HarnessExecutor, SerialExecutor
 from repro.fuzzing.input import TestInput
 from repro.fuzzing.mismatch import MismatchDetector, counter_csr_filter
 from repro.fuzzing.simclock import SimClock
+from repro.obs.events import NULL_SINK, EventSink
 
 
 @dataclass
@@ -89,6 +91,17 @@ class FuzzLoop:
         in flight between ``run_batch`` calls — :meth:`drain` folds it,
         :meth:`close` discards it, and :meth:`state_dict` refuses to
         snapshot around it.
+    sink:
+        Telemetry sink (:mod:`repro.obs.events`).  With the default
+        :data:`~repro.obs.events.NULL_SINK` the loop does *no* telemetry
+        work — not even ``perf_counter`` calls — and behaves bit-identical
+        to an uninstrumented loop.  An enabled sink receives per-phase
+        timer events (``batch_generated`` / ``batch_executed`` /
+        ``batch_folded``: generation vs. execution vs. coverage-fold wall
+        time per batch) and a ``mismatch_found`` event per *new* unique
+        mismatch signature.  Sinks never feed back into the loop; the
+        sink is deliberately excluded from :meth:`state_dict` (telemetry
+        is an observer, not campaign state).
     """
 
     def __init__(
@@ -101,8 +114,10 @@ class FuzzLoop:
         scorer: CoverageScorer | None = None,
         executor: HarnessExecutor | None = None,
         pipeline: bool = False,
+        sink: EventSink = NULL_SINK,
     ) -> None:
         self.generator = generator
+        self.sink = sink
         if executor is None:
             executor = SerialExecutor(harness)
         elif harness is not None:
@@ -200,6 +215,8 @@ class FuzzLoop:
 
     def run_batch(self) -> BatchOutcome:
         if not self.pipeline:
+            if self.sink.enabled:
+                return self._run_batch_timed()
             inputs = self._generate_inputs()
             # Simulate the whole batch first (possibly sharded over workers)
             # and only then fold results into campaign state, so a failed
@@ -224,6 +241,32 @@ class FuzzLoop:
         self._inflight = next_inflight
         return self._fold(inflight[0], results)
 
+    def _run_batch_timed(self) -> BatchOutcome:
+        """The synchronous batch with per-phase timers (enabled sinks only).
+
+        The profiling hooks of the observability layer: one timer event per
+        phase — generation, differential execution, coverage fold — so
+        hot-path regressions show up in the results store, not just in
+        ``BENCH_*.json``.  Phase structure and fold semantics are identical
+        to the untimed path; only ``perf_counter`` sampling and event
+        emission are added.  Pipelined loops skip the timers (their phases
+        overlap by design, so per-phase wall time would be misleading).
+        """
+        t0 = time.perf_counter()
+        inputs = self._generate_inputs()
+        t1 = time.perf_counter()
+        self.sink.emit("batch_generated", n=len(inputs), seconds=t1 - t0)
+        results = self.executor.run_batch([test.words for test in inputs])
+        t2 = time.perf_counter()
+        self.sink.emit("batch_executed", n=len(inputs), seconds=t2 - t1)
+        outcome = self._fold(inputs, results)
+        self.sink.emit(
+            "batch_folded", n=len(inputs),
+            seconds=time.perf_counter() - t2,
+            mismatches=outcome.mismatch_count,
+        )
+        return outcome
+
     def drain(self) -> BatchOutcome | None:
         """Collect and fold the pipelined in-flight batch, if any.
 
@@ -239,11 +282,21 @@ class FuzzLoop:
         return self._fold(inputs, self.executor.collect(handle))
 
     def _fold(self, inputs: list[TestInput], results) -> BatchOutcome:
+        unique_before = self.detector.unique_count if self.sink.enabled else 0
         mismatches = 0
         for res in results:
             mismatches += len(
                 self.detector.observe(res.dut_trace, res.golden_trace)
             )
+        if self.sink.enabled and self.detector.unique_count > unique_before:
+            # Announce each *new* unique signature once (dict preserves
+            # insertion order, so the new ones are exactly the tail).
+            for found in list(self.detector.unique.values())[unique_before:]:
+                self.sink.emit(
+                    "mismatch_found", kind=found.kind,
+                    signature=list(found.signature), pc=found.pc,
+                    detail=found.detail,
+                )
         # Whole-batch coverage scoring in one vectorised sweep (identical to
         # per-report observes — see repro.coverage.calculator).
         reports = [res.report for res in results]

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.golden.trace import CommitTrace
+from repro.obs.events import NULL_SINK, EventSink
 from repro.rtl.report import CoverageReport
 
 
@@ -87,6 +88,12 @@ class HarnessExecutor:
     and releases any held resources on :meth:`close`.  Executors are context
     managers; ``close`` is idempotent.
     """
+
+    #: Telemetry sink (:mod:`repro.obs.events`): executors report pool
+    #: health events (e.g. ``pool_rebuilt`` after worker death) to it.
+    #: Assign a live sink directly; the default no-op sink keeps the
+    #: unobserved hot path free of telemetry work.
+    sink: EventSink = NULL_SINK
 
     def __init__(self, harness_or_factory=None) -> None:
         self._factory = (

@@ -79,6 +79,7 @@ from repro.fuzzing.executor import SerialExecutor
 from repro.fuzzing.faults import FaultPlan, FaultPoint
 from repro.fuzzing.pool import default_workers
 from repro.fuzzing.scheduler import BudgetScheduler, RoundRobin
+from repro.obs.events import NULL_SINK, EventSink, ListSink
 from repro.rtl.bitset import Bitset
 from repro.soc.harness import HarnessFactory, harness_factory
 
@@ -504,9 +505,9 @@ def _get_campaign(specs, cache, index: int, fresh: bool) -> Campaign:
 
 
 def _run_slice(campaign: Campaign, n_tests: int, state: dict | None,
-               fault: FaultPoint | None = None):
+               fault: FaultPoint | None = None, collect: bool = False):
     """Continue one campaign by one slice; returns (new state, snapshot,
-    busy seconds).
+    busy seconds, events).
 
     ``state`` is the authoritative mutable state from the parent (None only
     for a campaign's very first slice) — the cached shell contributes only
@@ -515,6 +516,16 @@ def _run_slice(campaign: Campaign, n_tests: int, state: dict | None,
     is the wall time this slice held its worker slot (state restore +
     simulation + snapshot), the numerator of
     :attr:`FleetStats.utilisation`.
+
+    ``events`` is the slice's telemetry relay: with ``collect`` the
+    campaign's in-slice events (per-phase batch timings, coverage points,
+    mismatch discoveries — see :mod:`repro.obs.events`) are recorded into a
+    temporary :class:`~repro.obs.events.ListSink` and returned as picklable
+    ``(kind, data)`` pairs for the parent to re-emit into its own sink,
+    tagged with the arm — so one fleet keeps *one* writer per store
+    segment no matter how many workers it shards over.  Without
+    ``collect`` (the default, and the whole no-sink fast path) it is
+    ``None`` and the campaign does zero telemetry work.
 
     An injected ``fault`` fires first, before any campaign state is
     touched, so faulted slices are side-effect-free and retrying one from
@@ -527,15 +538,27 @@ def _run_slice(campaign: Campaign, n_tests: int, state: dict | None,
         fault.fire()
     if state is not None:
         campaign.load_state_dict(state)
-    result = campaign.run_slice(n_tests)
-    return campaign.state_dict(), result, time.perf_counter() - started
+    events = None
+    if collect:
+        relay = ListSink(writer="slice")
+        previous = campaign.loop.sink
+        campaign.loop.sink = relay
+        try:
+            result = campaign.run_slice(n_tests)
+        finally:
+            campaign.loop.sink = previous
+        events = [(event.kind, event.data) for event in relay.events]
+    else:
+        result = campaign.run_slice(n_tests)
+    return (campaign.state_dict(), result,
+            time.perf_counter() - started, events)
 
 
 def _fleet_slice(index: int, n_tests: int, state: dict | None,
-                 fault: FaultPoint | None = None):
+                 fault: FaultPoint | None = None, collect: bool = False):
     campaign = _get_campaign(_WORKER_SPECS, _WORKER_CAMPAIGNS, index,
                              fresh=state is None)
-    return _run_slice(campaign, n_tests, state, fault)
+    return _run_slice(campaign, n_tests, state, fault, collect)
 
 
 @dataclass
@@ -819,6 +842,21 @@ class FleetRunner:
     fault_plan:
         A :class:`~repro.fuzzing.faults.FaultPlan` of injected faults for
         chaos testing; None (default) injects nothing.
+    sink:
+        Telemetry sink (:mod:`repro.obs.events`) for the structured event
+        stream: fleet lifecycle (``fleet_started``/``fleet_finished``),
+        dispatch (``slice_dispatched``/``slice_completed``), fault
+        tolerance (``slice_retried``/``slice_timeout``/
+        ``arm_quarantined``/``pool_rebuilt``), checkpoints
+        (``checkpoint_written``), scheduler rewards (``arm_reward``), plus
+        the relayed in-slice events (batch phase timings, coverage points,
+        mismatch discoveries — see :func:`_run_slice`).  Per-arm coverage
+        bitmaps go to ``sink.save_coverage`` as slices fold.  The default
+        :data:`~repro.obs.events.NULL_SINK` disables all of it: no
+        payloads, no timers, no worker-side relay — a no-sink run is
+        bit-identical to an uninstrumented one (pinned in ``tests/obs/``).
+        Pass a :class:`~repro.obs.store.StoreSink` for a durable results
+        store a dashboard can watch live.
 
     Every entry point records its dispatch accounting in
     :attr:`last_stats` (wall/busy seconds, slice count, worker
@@ -834,7 +872,8 @@ class FleetRunner:
                  retry_backoff: float = 0.05,
                  slice_timeout: float | None = None,
                  quarantine: bool = True,
-                 fault_plan: FaultPlan | None = None) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 sink: EventSink = NULL_SINK) -> None:
         self.specs = list(specs)
         if not self.specs:
             raise ValueError("a fleet needs at least one campaign spec")
@@ -860,6 +899,7 @@ class FleetRunner:
         self.slice_timeout = slice_timeout
         self.quarantine = quarantine
         self.fault_plan = fault_plan
+        self.sink = sink
         #: Dispatch accounting of the most recent run/run_scheduled call.
         self.last_stats = FleetStats(n_workers=self.n_workers)
         self._pool: ProcessPoolExecutor | None = None
@@ -939,7 +979,34 @@ class FleetRunner:
         campaign = _get_campaign(
             self.specs, self._local_campaigns, index, fresh=state is None
         )
-        return _run_slice(campaign, n_tests, state, fault)
+        return _run_slice(campaign, n_tests, state, fault,
+                          collect=self.sink.enabled)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _emit_completion(self, arm: int, output, ran: int) -> None:
+        """Re-emit a finished slice's relayed events, then announce the
+        completion and persist the arm's latest coverage bitmap.
+
+        The relay is replayed *before* ``slice_completed`` so a reader of
+        the single parent-side segment sees the slice's internal timeline
+        (batch timings, coverage points, mismatches) close before its
+        completion record — the same order events happened in the worker.
+        """
+        if not self.sink.enabled:
+            return
+        name = self.specs[arm].name
+        _, result, busy, events = output
+        for kind, data in events or ():
+            payload = {"arm": arm, "name": name}
+            payload.update(data)
+            self.sink.emit(kind, **payload)
+        self.sink.emit(
+            "slice_completed", arm=arm, name=name,
+            tests=result.tests_run, ran=ran, busy_seconds=busy,
+            coverage_percent=result.final_coverage_percent,
+        )
+        self.sink.save_coverage(f"{arm:02d}_{name}", result.final_coverage)
 
     # -- fault-tolerant dispatch -----------------------------------------------
 
@@ -964,8 +1031,21 @@ class FleetRunner:
             raise exc
         if isinstance(exc, SliceTimeout):
             health.timeouts += 1
+            if self.sink.enabled:
+                self.sink.emit(
+                    "slice_timeout", arm=task.arm,
+                    name=self.specs[task.arm].name, ordinal=task.ordinal,
+                    limit_seconds=self.slice_timeout,
+                )
         if task.attempt < self.max_retries:
             health.retries += 1
+            if self.sink.enabled:
+                self.sink.emit(
+                    "slice_retried", arm=task.arm,
+                    name=self.specs[task.arm].name, ordinal=task.ordinal,
+                    attempt=task.attempt + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             if self.retry_backoff > 0:
                 time.sleep(self.retry_backoff * (2 ** task.attempt))
             return replace(task, attempt=task.attempt + 1, deadline=None)
@@ -978,6 +1058,13 @@ class FleetRunner:
             retries=task.attempt,
             tests_run=self._state_tests(task.state),
         ))
+        if self.sink.enabled:
+            record = health.quarantined[-1]
+            self.sink.emit(
+                "arm_quarantined", arm=record.arm, name=record.name,
+                error=record.error, retries=record.retries,
+                tests_run=record.tests_run,
+            )
         if on_quarantine is not None:
             on_quarantine(task)
         return None
@@ -996,6 +1083,12 @@ class FleetRunner:
         """
         while True:
             fault = self._fault_for(task)
+            if self.sink.enabled:
+                self.sink.emit(
+                    "slice_dispatched", arm=task.arm,
+                    name=self.specs[task.arm].name, ordinal=task.ordinal,
+                    attempt=task.attempt, n_tests=task.n_tests,
+                )
             state = task.state
             if state is not None and (fault is not None
                                       or self.slice_timeout is not None):
@@ -1026,15 +1119,27 @@ class FleetRunner:
         if self.slice_timeout is not None and task.deadline is None:
             task.deadline = time.monotonic() + self.slice_timeout
         fault = self._fault_for(task)
+        collect = self.sink.enabled
+        if collect:
+            self.sink.emit(
+                "slice_dispatched", arm=task.arm,
+                name=self.specs[task.arm].name, ordinal=task.ordinal,
+                attempt=task.attempt, n_tests=task.n_tests,
+            )
         try:
             future = self._ensure_pool().submit(
-                _fleet_slice, task.arm, task.n_tests, task.state, fault
+                _fleet_slice, task.arm, task.n_tests, task.state, fault,
+                collect,
             )
         except BrokenProcessPool:
             self._kill_pool()
             health.pool_rebuilds += 1
+            if collect:
+                self.sink.emit("pool_rebuilt", layer="fleet",
+                               reason="pool found broken at submit")
             future = self._ensure_pool().submit(
-                _fleet_slice, task.arm, task.n_tests, task.state, fault
+                _fleet_slice, task.arm, task.n_tests, task.state, fault,
+                collect,
             )
         inflight[future] = task
 
@@ -1084,6 +1189,9 @@ class FleetRunner:
             inflight.clear()
             self._kill_pool()
             health.pool_rebuilds += 1
+            if self.sink.enabled:
+                self.sink.emit("pool_rebuilt", layer="fleet",
+                               reason="worker death (BrokenProcessPool)")
         elif self.slice_timeout is not None and inflight:
             now = time.monotonic()
             if any(task.deadline <= now for task in inflight.values()):
@@ -1102,6 +1210,9 @@ class FleetRunner:
                 inflight.clear()
                 self._kill_pool()
                 health.pool_rebuilds += 1
+                if self.sink.enabled:
+                    self.sink.emit("pool_rebuilt", layer="fleet",
+                                   reason="hung slice past slice_timeout")
 
         for task, exc in failed:
             retry = self._retry_or_quarantine(task, exc, health,
@@ -1192,6 +1303,9 @@ class FleetRunner:
         for index in dirty:
             self.checkpoint.save_arm(index, states[index])
         self.checkpoint.save_manifest(states, scheduler, rounds, health)
+        if self.sink.enabled:
+            self.sink.emit("checkpoint_written", rounds=rounds,
+                           dirty=list(dirty))
 
     @staticmethod
     def _result_from_state(name: str, state: dict) -> CampaignResult:
@@ -1243,12 +1357,21 @@ class FleetRunner:
                                         ordinal=0))
         stats = self._begin_stats("whole-budget", concurrency=len(tasks),
                                   health=health)
+        if self.sink.enabled:
+            self.sink.emit(
+                "fleet_started", mode="whole-budget",
+                n_workers=self.n_workers, worker_slots=stats.worker_slots,
+                arms=len(self.specs),
+                resumed_tests=sum(self._state_tests(s)
+                                  for s in states.values()),
+            )
         results: dict[int, CampaignResult] = {}
         meta = {"rounds": rounds}
 
         def fold(task: _SliceTask, output) -> None:
-            state, result, busy = output
+            state, result, busy, _events = output
             ran = result.tests_run - self._state_tests(states.get(task.arm))
+            self._emit_completion(task.arm, output, ran)
             states[task.arm] = state
             results[task.arm] = result
             stats.busy_seconds += busy
@@ -1289,8 +1412,17 @@ class FleetRunner:
                     self._result_from_state(spec.name, states[index])
                     if index in states else CampaignResult(name=spec.name)
                 )
-        return FleetResult([results[i] for i in range(len(self.specs))],
-                           health=health)
+        fleet_result = FleetResult(
+            [results[i] for i in range(len(self.specs))], health=health
+        )
+        if self.sink.enabled:
+            self.sink.emit(
+                "fleet_finished", mode="whole-budget",
+                wall_seconds=stats.wall_seconds,
+                busy_seconds=stats.busy_seconds, slices=stats.slices,
+                tests=stats.tests, union_percent=fleet_result.union_percent,
+            )
+        return fleet_result
 
     def run_scheduled(self, scheduler: BudgetScheduler | None = None,
                       slice_tests: int = 64,
@@ -1341,6 +1473,8 @@ class FleetRunner:
             raise RuntimeError("FleetRunner is closed")
         scheduler = scheduler if scheduler is not None else RoundRobin()
         scheduler.bind(len(self.specs))
+        if self.sink.enabled:
+            scheduler.attach_sink(self.sink)
         started = time.perf_counter()
         states, rounds, health = self._load_states(scheduler)
         quarantined = health.quarantined_arms()
@@ -1356,6 +1490,12 @@ class FleetRunner:
         spent = sum(self._state_tests(s) for s in states.values())
         box = {"union_bits": union_bits, "universe": universe,
                "spent": spent, "rounds": rounds}
+        if self.sink.enabled:
+            self.sink.emit(
+                "fleet_started", mode=mode, n_workers=self.n_workers,
+                worker_slots=stats.worker_slots, arms=len(self.specs),
+                scheduler=type(scheduler).__name__, resumed_tests=spent,
+            )
 
         def on_quarantine(task: _SliceTask) -> None:
             quarantined.add(task.arm)
@@ -1372,8 +1512,9 @@ class FleetRunner:
             """Fold one finished slice: union, reward, scheduler, stats,
             checkpoint.  Shared verbatim by both modes so their per-slice
             bookkeeping cannot drift apart."""
-            state, result, busy = output
+            state, result, busy, _events = output
             ran = result.tests_run - self._state_tests(states.get(arm))
+            self._emit_completion(arm, output, ran)
             box["spent"] += ran
             states[arm] = state
             bits = result.final_coverage.to_int()
@@ -1405,12 +1546,20 @@ class FleetRunner:
                              fold_completion, health, quarantined,
                              on_quarantine)
         stats.wall_seconds = time.perf_counter() - started
-        return FleetResult([
+        fleet_result = FleetResult([
             self._result_from_state(spec.name, states[index])
             if index in states
             else CampaignResult(name=spec.name)
             for index, spec in enumerate(self.specs)
         ], health=health)
+        if self.sink.enabled:
+            self.sink.emit(
+                "fleet_finished", mode=mode,
+                wall_seconds=stats.wall_seconds,
+                busy_seconds=stats.busy_seconds, slices=stats.slices,
+                tests=stats.tests, union_percent=fleet_result.union_percent,
+            )
+        return fleet_result
 
     def _run_rounds(self, scheduler, slice_tests, total_tests, concurrency,
                     states, box, target_reached, fold_completion, health,

@@ -274,6 +274,11 @@ class ShardedExecutor(HarnessExecutor):
                 if handle.generation == self._generation:
                     self._discard_pool()
                     self.stats.rebuilds += 1
+                    if self.sink.enabled:
+                        self.sink.emit(
+                            "pool_rebuilt", layer="executor",
+                            reason="worker death during batch collect",
+                        )
                 results.clear()
                 pool = self._ensure_pool()
                 handle.futures = [pool.submit(_run_chunk, chunk)

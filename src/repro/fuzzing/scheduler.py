@@ -46,6 +46,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.obs.events import NULL_SINK, EventSink
+
 
 class BudgetScheduler:
     """Protocol for slice-allocation policies (event-driven).
@@ -63,12 +65,22 @@ class BudgetScheduler:
     """
 
     n_arms: int = 0
+    #: Telemetry sink (:mod:`repro.obs.events`); the fleet runner attaches
+    #: its own via :meth:`attach_sink`.  Policies emit *observations* of
+    #: their internal state (e.g. per-arm reward trajectories) — sinks
+    #: must never influence scheduling, and the sink is excluded from
+    #: :meth:`state_dict` (telemetry is an observer, not policy state).
+    sink: EventSink = NULL_SINK
 
     def bind(self, n_arms: int) -> None:
         """Declare the arm universe; called once by the fleet runner."""
         if n_arms < 1:
             raise ValueError(f"need at least one arm, got {n_arms}")
         self.n_arms = n_arms
+
+    def attach_sink(self, sink: EventSink) -> None:
+        """Route this policy's telemetry to ``sink`` (the runner's)."""
+        self.sink = sink
 
     # -- event-driven interface (override these) -------------------------------
 
@@ -176,6 +188,16 @@ class BanditScheduler(BudgetScheduler):
     def on_slice_complete(self, arm: int, tests: int, reward: float) -> None:
         self.counts[arm] += 1
         self.totals[arm] += reward
+        if self.sink.enabled:
+            # The MABFuzz debuggability hook: the allocation trajectory
+            # (per-arm plays and running mean reward) as first-class data
+            # rather than state buried inside the policy.
+            self.sink.emit(
+                "arm_reward", arm=arm, tests=tests, reward=reward,
+                count=self.counts[arm],
+                mean=self.totals[arm] / self.counts[arm],
+                total=self.totals[arm],
+            )
 
     def state_dict(self) -> dict:
         return {"counts": list(self.counts), "totals": list(self.totals)}

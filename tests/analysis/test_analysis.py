@@ -12,9 +12,12 @@ from repro.analysis.fleet import (
     fleet_bug_table,
     fleet_detected_bugs,
 )
-from repro.analysis.report import format_table
+from repro.analysis.fleet import fleet_health_table, fleet_stats_table
+from repro.analysis.report import format_table, store_report
 from repro.fuzzing.campaign import CampaignResult
+from repro.fuzzing.fleet import FleetHealth, FleetStats
 from repro.fuzzing.mismatch import Mismatch
+from repro.obs.store import StoreAggregates
 
 
 def mismatch(kind, *signature_tail):
@@ -150,3 +153,85 @@ class TestReport:
     def test_empty_rows(self):
         table = format_table(["a"], [])
         assert "a" in table
+
+
+class TestDegenerateInputs:
+    """Regression pins: renderers and the classifier must survive the
+    degenerate shapes a partially-written store (or a foreign writer) can
+    legitimately hand them — ragged rows and empty signatures used to
+    raise ``IndexError``."""
+
+    def test_format_table_rows_longer_than_headers(self):
+        table = format_table(["a", "b"], [["1", "2", "3", "4"]])
+        lines = table.splitlines()
+        assert "3" in lines[-1] and "4" in lines[-1]
+        assert len(lines[0]) == len(lines[1])  # separator spans extras
+
+    def test_format_table_rows_shorter_than_headers(self):
+        table = format_table(["a", "b", "c"], [["1"], ["1", "2"]])
+        assert "1" in table  # short rows pad, never crash
+
+    def test_classify_empty_signature_is_unexplained(self):
+        degenerate = Mismatch(kind="rd_value", index=0, pc=0, detail="",
+                              signature=())
+        assert classify_mismatch(degenerate) is None
+
+    def test_bug_table_tolerates_empty_signature(self):
+        table = fleet_bug_table([campaign(
+            "a",
+            Mismatch(kind="", index=0, pc=0, detail="", signature=()),
+        )])
+        assert "UNEXPLAINED" in table
+
+    def test_no_campaigns(self):
+        table = fleet_bug_table([])
+        assert "not found" in table  # every known bug rendered undetected
+
+    def test_empty_stats_and_health_tables(self):
+        assert "run" in fleet_stats_table({})
+        assert "tests/sec" in fleet_stats_table({"empty": FleetStats()})
+        assert "event" in fleet_health_table(FleetHealth())
+
+
+class TestStoreReport:
+    def aggregates(self):
+        return StoreAggregates(
+            arms=[{"name": "thehuzz-0", "arm": 0, "tests": 24,
+                   "coverage_percent": 61.0, "sim_hours": 0.2,
+                   "busy_seconds": 1.5, "slices": 3, "quarantined": False,
+                   "curve": [[8, 0.1, 40.0], [24, 0.2, 61.0]],
+                   "phases": {"generation_seconds": 0.1,
+                              "execution_seconds": 1.2,
+                              "fold_seconds": 0.2}}],
+            union_percent=61.0, universe=326, total_tests=24,
+            busy_seconds=1.5, wall_seconds=2.0, worker_slots=1,
+            utilisation=0.75, mode="streaming", runs=1,
+            health={"retries": 1, "timeouts": 0, "pool_rebuilds": 0,
+                    "quarantined": []},
+            phases={"generation_seconds": 0.1, "execution_seconds": 1.2,
+                    "fold_seconds": 0.2},
+            mismatches=[{"kind": "rd_missing",
+                         "signature": ["rd_missing", "mul"], "pc": 64,
+                         "detail": "golden writes x3", "campaigns":
+                         ["thehuzz-0"]}],
+            events=42, last_event_t=0.0,
+        )
+
+    def test_renders_every_section(self):
+        report = store_report(self.aggregates())
+        assert "union coverage: 61.00% of 326" in report
+        assert "Arms" in report and "thehuzz-0" in report
+        assert "Per-phase wall time" in report and "execution" in report
+        assert "Fleet health" in report
+        assert "E-BUGS (1 unique signatures)" in report
+        assert "BUG2" in report  # muldiv rd_missing classified
+
+    def test_accepts_api_payload_dict(self):
+        # The dashboard's /api/summary JSON (as_dict form) renders too —
+        # including its list-of-lists signatures.
+        assert "BUG2" in store_report(self.aggregates().as_dict())
+
+    def test_empty_store_renders(self):
+        report = store_report(StoreAggregates())
+        assert "runs: 0" in report
+        assert "E-BUGS (0 unique signatures)" in report

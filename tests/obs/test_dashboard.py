@@ -1,0 +1,135 @@
+"""Dashboard smoke test: the JSON API serves live aggregates *while* an
+in-process fleet writes to the store, plus the bug-classification rows
+the E-BUGS table renders."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.fuzzing.fleet import CampaignSpec, FleetRunner
+from repro.fuzzing.scheduler import RoundRobin
+from repro.obs.dashboard import DashboardServer, classify_bug_rows
+from repro.obs.store import ResultsStore
+
+
+def spec_pair(budget: int = 24) -> list[CampaignSpec]:
+    return [
+        CampaignSpec("thehuzz-0", fuzzer="thehuzz",
+                     fuzzer_config={"body_instructions": 16}, seed=5,
+                     batch_size=8, budget_tests=budget),
+        CampaignSpec("random-0", fuzzer="random",
+                     fuzzer_config={"body_instructions": 16}, seed=2,
+                     batch_size=8, budget_tests=budget),
+    ]
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestDashboardSmoke:
+    def test_api_serves_while_fleet_runs(self, tmp_path):
+        """Acceptance pin: poll the JSON API during an in-process fleet run
+        and watch per-arm coverage, utilisation and health go live."""
+        store = ResultsStore(tmp_path / "store")
+        with DashboardServer(store, port=0, refresh_seconds=0.0) as server:
+            polled: list[dict] = []
+
+            def poll_forever(stop: threading.Event) -> None:
+                while not stop.is_set():
+                    polled.append(get_json(server.url + "api/summary"))
+                    time.sleep(0.05)
+
+            stop = threading.Event()
+            poller = threading.Thread(target=poll_forever, args=(stop,),
+                                      daemon=True)
+            poller.start()
+            try:
+                with store.sink() as sink:
+                    with FleetRunner(spec_pair(), n_workers=0,
+                                     sink=sink) as fleet:
+                        result = fleet.run_scheduled(RoundRobin(),
+                                                     slice_tests=8)
+            finally:
+                stop.set()
+                poller.join(timeout=10)
+
+            # Polling a store mid-write never errored, and the final state
+            # is served with everything the page renders.
+            assert polled, "poller never completed a request"
+            final = get_json(server.url + "api/summary")
+
+        assert final["union_percent"] == result.union_percent
+        assert [row["name"] for row in final["arms"]] == [
+            "random-0", "thehuzz-0"]
+        for row in final["arms"]:
+            assert row["tests"] == 24
+            assert row["curve"], "arm served without a coverage curve"
+        assert final["utilisation"] > 0.0
+        assert final["health"]["retries"] == 0
+        assert final["phases"]["execution_seconds"] > 0.0
+        assert {b["bug"] for b in final["bugs"]}  # classified E-BUGS rows
+        assert final["live"] is False
+
+    def test_endpoints(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        with store.sink() as sink:
+            sink.emit("fleet_started", mode="rounds", worker_slots=1)
+            sink.emit("coverage_point", campaign="a", tests=8,
+                      sim_hours=0.1, coverage_percent=25.0)
+        with DashboardServer(store, port=0, refresh_seconds=0.0) as server:
+            page = urllib.request.urlopen(server.url, timeout=10).read()
+            assert b"fleet dashboard" in page
+
+            summary = get_json(server.url + "api/summary")
+            assert summary["runs"] == 1 and summary["live"] is True
+            assert "bugs" in summary
+
+            events = get_json(server.url + "api/events?tail=2")
+            assert [e["kind"] for e in events] == [
+                "fleet_started", "coverage_point"]
+            assert all(e["v"] == 1 for e in events)
+
+            try:
+                urllib.request.urlopen(server.url + "nope", timeout=10)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:
+                raise AssertionError("missing route did not 404")
+
+    def test_summary_cache_honours_refresh_interval(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        server = DashboardServer(store, port=0, refresh_seconds=3600.0)
+        try:
+            before = server.summary()
+            with store.sink() as sink:
+                sink.emit("fleet_started", mode="rounds")
+            assert server.summary() is before  # cached, not recomputed
+        finally:
+            server._server.server_close()
+
+
+class TestClassifyBugRows:
+    def test_known_and_unexplained_signatures(self):
+        aggregates = {"mismatches": [
+            {"kind": "rd_mismatch", "signature": ["nonsense", "xyz"],
+             "pc": 0, "detail": "synthetic", "campaigns": ["a"]},
+        ]}
+        rows = classify_bug_rows(aggregates)
+        assert rows[0]["bug"] == "UNEXPLAINED"
+        assert rows[0]["campaigns"] == ["a"]
+
+    def test_empty_store(self):
+        assert classify_bug_rows({}) == []
+        assert classify_bug_rows({"mismatches": []}) == []
+
+    def test_degenerate_signature_is_unexplained(self):
+        rows = classify_bug_rows({"mismatches": [
+            {"kind": "", "signature": [], "pc": 0, "detail": "",
+             "campaigns": []},
+        ]})
+        assert rows[0]["bug"] == "UNEXPLAINED"
