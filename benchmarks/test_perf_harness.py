@@ -108,6 +108,9 @@ def test_harness_tests_per_sec():
         "benchmark": "harness_tests_per_sec",
         "batch": BATCH,
         "body_instructions": BODY_INSTRUCTIONS,
+        # Rocket arm; BOOM rides the same lane plumbing (see BENCH_dut.json
+        # for the per-kind batched-DUT ladders).
+        "harness_kind": "rocket",
         "golden_lanes": GOLDEN_LANES,
         "dut_lanes": DUT_LANES,
         "n_cores": cores,
@@ -117,7 +120,8 @@ def test_harness_tests_per_sec():
     best_n = max(sharded_tps, key=sharded_tps.get)
     best_ratio = sharded_tps[best_n] / serial_tps
     headline = (
-        f"sharded {best_ratio:.2f}x at {best_n} workers ({cores} cores)"
+        f"rocket lanes {GOLDEN_LANES}g/{DUT_LANES}d: sharded "
+        f"{best_ratio:.2f}x at {best_n} workers ({cores} cores)"
     )
     if best_n > cores:
         headline += " [pool-overhead bound: workers exceed cores]"

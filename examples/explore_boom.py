@@ -5,8 +5,14 @@
 on BOOM.  This example fuzzes the BOOM model and shows which condition arms
 remain uncovered — on BOOM that residue is essentially the debug logic.
 
-Run:  python examples/explore_boom.py
+Run:  python examples/explore_boom.py [--golden-lanes N] [--dut-lanes N]
+
+Lane widths are pure perf knobs (``BoomBatchSimulator`` is bit-identical
+to the scalar core): the coverage numbers below are the same at any
+width; only wall-clock changes.
 """
+
+import argparse
 
 from repro.fuzzing.campaign import Campaign
 from repro.fuzzing.chatfuzz import FuzzLoop
@@ -14,6 +20,15 @@ from repro.ml.lm_training import LMTrainConfig
 from repro.ml.pipeline import ChatFuzzPipeline, PipelineConfig
 from repro.ml.transformer import GPT2Config
 from repro.soc.harness import make_boom_harness, make_rocket_harness
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--golden-lanes", type=int, default=0, metavar="N",
+                    help="batched golden engine lane width "
+                         "(0 = scalar golden, the default)")
+parser.add_argument("--dut-lanes", type=int, default=0, metavar="N",
+                    help="batched BOOM DUT engine lane width "
+                         "(0 = scalar DUT, the default)")
+args = parser.parse_args()
 
 print("training ChatFuzz...")
 pipeline = ChatFuzzPipeline(PipelineConfig(
@@ -26,7 +41,8 @@ pipeline = ChatFuzzPipeline(PipelineConfig(
 pipeline.run_all(make_rocket_harness())
 
 print("fuzzing the BOOM model...")
-harness = make_boom_harness()
+harness = make_boom_harness(golden_lanes=args.golden_lanes,
+                            dut_lanes=args.dut_lanes)
 loop = FuzzLoop(pipeline.make_generator(seed=21), harness, batch_size=20)
 result = Campaign(loop, "chatfuzz-boom").run_tests(250)
 

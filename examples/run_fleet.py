@@ -16,6 +16,7 @@ Run:  python examples/run_fleet.py [--tests N] [--workers W]
           [--slice-timeout S] [--no-quarantine]
           [--chaos-seed SEED] [--chaos-rate P] [--chaos-kinds K[,K]]
           [--store DIR] [--dashboard PORT]
+          [--harness rocket|boom] [--golden-lanes N] [--dut-lanes N]
 
 Useful shapes:
 
@@ -35,6 +36,10 @@ Useful shapes:
   raise,hang,die`` for hung slices and worker deaths) to watch the fleet
   retry, recycle its pool and quarantine — the run should still complete
   and, fault kinds permitting, match the fault-free result bit-for-bit.
+- ``--harness boom --golden-lanes 8 --dut-lanes 8`` points every arm at
+  the BOOM model on the batched engines (any kind in the engine registry
+  with a batch engine works; lane widths are pure perf knobs — results
+  are bit-identical to scalar at every width).
 - ``--store results/`` streams structured telemetry into a durable
   results store (events + coverage bitmaps; survives kills, appends
   across resumes — combine with ``--checkpoint`` for resumable runs with
@@ -101,6 +106,15 @@ parser.add_argument("--recover-checkpoint", action="store_true",
                          "instead of refusing to load")
 parser.add_argument("--seeds", type=int, default=1, metavar="K",
                     help="seed-sweep: K arms per fuzzer kind")
+parser.add_argument("--harness", choices=("rocket", "boom"), default="rocket",
+                    help="DUT core kind for every arm (default: rocket)")
+parser.add_argument("--golden-lanes", type=int, default=0, metavar="N",
+                    help="batched golden engine lane width for every arm "
+                         "(0 = scalar golden, the default)")
+parser.add_argument("--dut-lanes", type=int, default=0, metavar="N",
+                    help="batched DUT engine lane width for every arm "
+                         "(0 = scalar DUT; kinds without a batch engine "
+                         "reject nonzero widths loudly)")
 parser.add_argument("--no-chatfuzz", action="store_true",
                     help="skip ChatFuzz (and its training step)")
 parser.add_argument("--store", metavar="DIR", default=None,
@@ -141,18 +155,24 @@ fault.add_argument("--chaos-kinds", default="raise", metavar="K[,K]",
                         "'die' needs --workers > 0 to have a pool to kill)")
 args = parser.parse_args()
 
+# Every arm shares the DUT kind and lane widths; a kind without a batch
+# engine rejects nonzero --dut-lanes at spec construction, before any
+# worker spins up.
+arm_kw = dict(harness=args.harness, golden_lanes=args.golden_lanes,
+              dut_lanes=args.dut_lanes)
+
 specs = []
 for k in range(args.seeds):
     specs += [
         CampaignSpec(f"TheHuzz#{k}", fuzzer="thehuzz",
                      fuzzer_config={"body_instructions": 24}, seed=1 + k,
-                     batch_size=20, budget_tests=args.tests),
+                     batch_size=20, budget_tests=args.tests, **arm_kw),
         CampaignSpec(f"DifuzzRTL#{k}", fuzzer="difuzzrtl",
                      fuzzer_config={"body_instructions": 24}, seed=31 + k,
-                     batch_size=20, budget_tests=args.tests),
+                     batch_size=20, budget_tests=args.tests, **arm_kw),
         CampaignSpec(f"random#{k}", fuzzer="random",
                      fuzzer_config={"body_instructions": 24}, seed=61 + k,
-                     batch_size=20, budget_tests=args.tests),
+                     batch_size=20, budget_tests=args.tests, **arm_kw),
     ]
 
 if not args.no_chatfuzz:
@@ -185,7 +205,7 @@ if not args.no_chatfuzz:
     # travels inside checkpoints like any other campaign state.
     specs += [
         CampaignSpec(f"ChatFuzz#{k}", generator=generator,
-                     batch_size=20, budget_tests=args.tests)
+                     batch_size=20, budget_tests=args.tests, **arm_kw)
         for k, generator in enumerate(generators)
     ]
 
@@ -201,7 +221,11 @@ if args.chaos_seed is not None:
           f"kinds={','.join(kinds)})")
 
 placement = f"{args.workers} campaign workers" if args.workers else "in-process"
-print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests "
+lanes = ""
+if args.golden_lanes or args.dut_lanes:
+    lanes = f", {args.golden_lanes}g/{args.dut_lanes}d lanes"
+print(f"\nfleet: {len(specs)} campaigns x {args.tests} tests on "
+      f"{args.harness}{lanes} "
       f"({placement}, scheduler={args.scheduler}, mode={args.mode})\n")
 
 if args.dashboard is not None and args.store is None:
@@ -256,9 +280,10 @@ for fraction in (0.2, 0.5, 1.0):
         for campaign in result.campaigns
     ])
 print()
+core_label = {"rocket": "RocketCore", "boom": "BOOM"}[args.harness]
 print(format_table(
     ["tests"] + names, rows,
-    title="condition coverage %, RocketCore (paper Fig. 2 shape)",
+    title=f"condition coverage %, {core_label} (paper Fig. 2 shape)",
 ))
 
 merged = result.merged_curve()

@@ -138,8 +138,9 @@ class CampaignSpec:
     #: it is deliberately excluded from :meth:`fingerprint` — checkpoints
     #: resume fine under a different width.
     golden_lanes: int = 0
-    #: Lane-group width for the batched DUT engine (Rocket only; 0 = scalar
-    #: DUT).  Same perf-knob contract as ``golden_lanes``: bit-identical
+    #: Lane-group width for the kind's batched DUT engine (0 = scalar DUT;
+    #: kinds without one reject it at spec-construction time).  Same
+    #: perf-knob contract as ``golden_lanes``: bit-identical
     #: traces and coverage at any width, so it is likewise excluded from
     #: :meth:`fingerprint`.
     dut_lanes: int = 0

@@ -1,0 +1,1163 @@
+"""Batched structure-of-arrays DUT execution for the BOOM core model.
+
+``repro.soc.batch`` vectorised RocketCore; this module closes the SoC
+matrix by doing the same for :class:`~repro.soc.boom.core.BoomCore`, so a
+fleet mixing Rocket and BOOM arms is vector-fast on both sides.  A
+:class:`BoomBatchSimulator` runs N test programs as lockstep numpy lanes
+through the superscalar model — the same arena/dispatch-table substrate,
+per-lane coverage bitmap matrix and peel bridge as the Rocket engine
+(which it subclasses), with the kernels swapped for what the out-of-order
+pipeline actually models:
+
+- **Occupancy drain columns.**  BOOM is a two-wide machine: ROB / issue
+  queue / load-store queue / free-list occupancies fill with the previous
+  instruction's stall cycles and drain every other retirement.  These are
+  per-lane int64 columns mutated by masked kernels in exactly the scalar
+  order (drain, rename, issue, ROB, LSU), because the full/empty coverage
+  conditions read them mid-update.
+- **SoA front end.**  Fetch-buffer occupancy conditions read the
+  post-drain ROB column; the branch predictor/BTB is the same per-lane
+  valid/pc/ctr plane as the Rocket engine with masked probe (decode) and
+  update (execute) kernels; the return-address stack collapses to a depth
+  column — the stacked values are provably dead (only ``len(ras)`` feeds
+  conditions; pops discard the value), so a depth vector is exact.
+- **Executed trap-handler columns with an analytic clean-handler
+  fast-forward.**  As for Rocket, the handler image is appended to the
+  dispatch table and can run as ordinary vector rounds with trace emission
+  suppressed.  A trap whose handler is pristine (``handler_ok``) and whose
+  mtvec still targets it is instead fast-forwarded at trap entry
+  (:meth:`_BoomLaneGroup._handler_skip`): the six-step occupancy walk is
+  unrolled over the trap lanes (the queue levels *do* depend on entry
+  state, so unlike Rocket's closed form the walk is replayed — but as six
+  cheap vector steps over the trap subset instead of six full rounds over
+  every active lane), the I$ runs its real kernel once per handler line,
+  and the constant decode/hazard/system arms fold into one cached row.
+- **Lane-wise coverage.**  Every scalar recording site folds to a
+  compiled ``_CondBlock`` scatter into the per-lane packed bitmap matrix,
+  bit-identical to the scalar core's ``record_mask`` stream.
+
+Rare/hard events — atomics, misaligned fetch — peel single lanes to the
+retained scalar core via the shared per-cycle step hook
+(:meth:`~repro.soc.boom.core.BoomCore.step_cycle`): lane state is spliced
+into a :class:`~repro.soc.boom.core.BoomRunState`, the scalar core steps
+until the lane can rejoin, and the result is spliced back.
+
+Parity — traces *and* coverage reports, at every lane width, including the
+peel/fallback paths — is pinned by ``tests/soc/test_batch_boom.py``.
+"""
+
+from __future__ import annotations
+
+from repro.golden.csr import (
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MSTATUS_MPP_MASK,
+    MSTATUS_MPP_SHIFT,
+)
+from repro.golden.batch import F_IMM, K_AMO, K_ILLEGAL, K_MRET, K_PEEL
+from repro.isa import spec
+from repro.soc.batch import (
+    DEFAULT_LANES,
+    LANE_MIN,
+    M_BRANCH,
+    M_DIVLIKE,
+    M_JALR,
+    M_JUMP,
+    M_MEM,
+    M_MULDIV,
+    M_MULHI,
+    M_RS1READ,
+    M_RS2READ,
+    M_WRD,
+    DutBatchSimulator,
+    _DutLaneGroup,
+    _nz1,
+)
+from repro.soc.boom.core import BoomCore
+from repro.soc.boom.params import BoomParams
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
+__all__ = ["BoomBatchSimulator", "DEFAULT_LANES", "LANE_MIN"]
+
+
+#: Compiled-site specs (see ``repro.soc.batch._CondBlock``): ``"D"``
+#: dynamic, ``"G"`` gated, bool literal constant.  Gates are passed in
+#: gated-item order.
+
+# fetch plane: fault arm, I$ probe/refill, fetch-buffer occupancy.
+_BIC_SPEC = (
+    ("boom.frontend.fetch_fault", False),
+    ("boom.icache.hit", "D"),
+    ("boom.icache.refill", "D"),
+    ("boom.icache.hit_way0", "G"),
+    ("boom.icache.hit_way1", "G"),
+    ("boom.icache.set_conflict", "G"),
+    ("boom.icache.evict_valid", "G"),
+    ("boom.frontend.fb_empty", "D"),
+    ("boom.frontend.fb_full", "D"),
+)
+
+# decode/rename/issue/ROB/RAS stage + predictor probe — runs for every
+# decoded lane, including lanes that later trap in execute.
+_BDSTAGE_SPEC = (
+    ("boom.rename.rd_x0", "G"),
+    ("boom.rename.waw_remap", "G"),
+    ("boom.rename.freelist_low", "D"),
+    ("boom.rename.stall_freelist", "D"),
+    ("boom.issue.iq_full", "D"),
+    ("boom.issue.iq_empty", "D"),
+    ("boom.issue.rs1_ready", "D"),
+    ("boom.issue.rs2_ready", "D"),
+    ("boom.issue.wakeup_bypass", "D"),
+    ("boom.rob.full", "D"),
+    ("boom.rob.empty", "D"),
+    ("boom.rob.commit_two", "D"),
+    ("boom.frontend.ras_push", "D"),
+    ("boom.frontend.ras_pop", "D"),
+    ("boom.frontend.ras_overflow", "G"),
+    ("boom.frontend.ras_underflow", "G"),
+    ("boom.csr.in_user_mode", "D"),
+    ("boom.bpu.btb_hit", "G"),
+    ("boom.bpu.btb_alias", "G"),
+    ("boom.bpu.pred_taken", "G"),
+)
+
+# execute-raised traps: ROB flush pair always, LSU fault pair for memory ops.
+_BTRAP_SPEC = (
+    ("boom.rob.exception_at_head", True),
+    ("boom.rob.flush", True),
+    ("boom.lsu.misaligned", "G"),
+    ("boom.lsu.access_fault", "G"),
+)
+
+# successfully executed lanes: branch resolution + BTB update, muldiv,
+# result and system arms.
+_BEXEC_SPEC = (
+    ("boom.csr.trap_taken", False),
+    ("boom.rob.exception_at_head", False),
+    ("boom.execute.br_taken", "G"),
+    ("boom.execute.br_backward", "G"),
+    ("boom.bpu.mispredict", "G"),
+    ("boom.bpu.update_new_entry", "G"),
+    ("boom.bpu.ctr_saturated_taken", "G"),
+    ("boom.bpu.ctr_saturated_not_taken", "G"),
+    ("boom.rob.flush", "G"),
+    ("boom.execute.div_by_zero", "G"),
+    ("boom.execute.mul_high", "G"),
+    ("boom.execute.result_zero", "G"),
+    ("boom.csr.write", "D"),
+    ("boom.csr.mret", "D"),
+    ("boom.csr.wfi", "D"),
+)
+
+# collapsed I$ record for the 2nd..nth sequential handler fetch of one
+# line: always a hit of the way the first access left the line in, and a
+# refill never drains the fetch buffer again.
+_BIC_COLLAPSE_SPEC = (
+    ("boom.frontend.fetch_fault", False),
+    ("boom.icache.hit", True),
+    ("boom.icache.refill", False),
+    ("boom.icache.hit_way0", "G"),
+    ("boom.icache.hit_way1", "G"),
+    ("boom.frontend.fb_empty", False),
+)
+
+# per-step occupancy arms of the handler fast-forward walk (see
+# ``_handler_skip``): these six conditions read queue levels mid-update,
+# so each of the six unrolled steps contributes its own dynamic values.
+_BHSKIP_STEP = (
+    ("boom.rename.freelist_low", "D"),
+    ("boom.rename.stall_freelist", "D"),
+    ("boom.issue.iq_full", "D"),
+    ("boom.issue.iq_empty", "D"),
+    ("boom.rob.full", "D"),
+    ("boom.rob.empty", "D"),
+)
+
+# LSU + D$ for non-trapping memory lanes.  Atomics (lr/sc/amo) always
+# peel, so the reservation/misalignment arms are constant-false here and
+# ``sc_success`` never records on the vector path.
+_BLSU_SPEC = (
+    ("boom.lsu.stq_full", "G"),
+    ("boom.lsu.ldq_full", "G"),
+    ("boom.lsu.stl_forward", "G"),
+    ("boom.lsu.misaligned", False),
+    ("boom.lsu.access_fault", False),
+    ("boom.lsu.reservation_set", False),
+    ("boom.dcache.hit", "D"),
+    ("boom.dcache.refill", "D"),
+    ("boom.dcache.hit_way0", "G"),
+    ("boom.dcache.hit_way1", "G"),
+    ("boom.dcache.set_conflict", "G"),
+    ("boom.dcache.evict_valid", "G"),
+    ("boom.dcache.evict_dirty", "G"),
+    ("boom.dcache.mark_dirty", "G"),
+)
+
+
+class BoomBatchSimulator(DutBatchSimulator):
+    """Structure-of-arrays batch DUT for BOOM, scalar-identical.
+
+    >>> batch = BoomBatchSimulator(lanes=32)
+    >>> results = batch.run_batch([prog0, prog1, ...])   # doctest: +SKIP
+
+    ``run_batch`` returns one ``(CommitTrace, CoverageReport)`` pair per
+    program — the same tuple ``BoomCore.run`` produces, bit-identical.
+    """
+
+    _CORE_CLS = BoomCore
+    _PARAMS_CLS = BoomParams
+
+    def _group(self, chunk, base: int):
+        return _BoomLaneGroup(self, chunk, base)
+
+
+class _BoomLaneGroup(_DutLaneGroup):
+    """One lockstep group of BOOM lanes.
+
+    Subclasses the Rocket lane group for the shared substrate — arena,
+    widened dispatch table with handler columns, per-word metadata planes,
+    covmat, SoA caches/BTB, splice/peel scaffolding, trace columns — and
+    replaces the run-state trackers, the round kernel and the splice
+    bridge with the out-of-order model's.
+    """
+
+    def _init_extra(self, g: int) -> None:
+        """BOOM's vectorised run-state trackers (spliced on peel)."""
+        np = _np
+        self.rob_occ = np.zeros(g, dtype=np.int64)
+        self.iq_occ = np.zeros(g, dtype=np.int64)
+        self.busy_reg = np.zeros(g, dtype=np.int64)     # busy_phys
+        self.ldq_occ = np.zeros(g, dtype=np.int64)
+        self.stq_occ = np.zeros(g, dtype=np.int64)
+        self.rsd = np.zeros(g, dtype=np.int64)          # retired_since_drain
+        self.last_stall = np.zeros(g, dtype=np.int64)
+        self.prev_rd = np.full(g, -1, dtype=np.int64)   # -1 == None
+        self.ras_depth = np.zeros(g, dtype=np.int64)
+        self.renamed = np.zeros((g, 32), dtype=bool)
+
+        # -- analytic trap-handler fast-forward (see _handler_skip) --------
+        # Decode rows, rename targets and I$ line geometry of the pristine
+        # handler image, captured at build time (handler_ok gates dirty
+        # lanes off the fast path, so the snapshot stays valid for every
+        # lane that uses it).
+        hslots = range(self.ncode, self.ncode + self.nhandler)
+        dmr = self._dm_matrix()[self.dmidx[0, self.ncode:
+                                           self.ncode + self.nhandler]]
+        self._bhskip_dm = np.bitwise_or.reduce(dmr, axis=0)
+        self._bhskip_row = None
+        hm = [int(self.meta_flat[s]) for s in hslots]
+        #: per-step "renames a non-x0 destination" flags: those steps claim
+        #: a physical register before the free-list conditions are read.
+        self._h_wnz = [(m & M_WRD) != 0 and (m & 31) != 0 for m in hm]
+        hl: list = []
+        for k in range(self.nhandler):
+            key = (spec.TRAP_VECTOR + 4 * k) >> self.off_bits
+            if hl and hl[-1][0] == key:
+                hl[-1][1] += 1
+            else:
+                hl.append([key, 1])
+        self._hlines = [(int(k), int(cnt)) for k, cnt in hl]
+        #: step index -> (line key, run length) at each first line access.
+        self._hfirst = {}
+        s0 = 0
+        for key, cnt in self._hlines:
+            self._hfirst[s0] = (key, cnt)
+            s0 += cnt
+        # fb_full is recorded inside the real I$ kernel on first-access
+        # steps and folded separately on the collapsed ones.
+        nfb = self.nhandler - len(self._hlines)
+        self._bhskip_spec = (
+            (("boom.rename.waw_remap", "D"),)
+            + _BHSKIP_STEP * self.nhandler
+            + (("boom.frontend.fb_full", "D"),) * nfb
+            + (("boom.execute.result_zero", "D"),) * 4
+        )
+        # The walk below is specific to the stock six-instruction image
+        # (csrrw/csrrs/addi/csrrw/csrrw/mret, all register traffic on x31).
+        self._hskip_on = self.nhandler == 6
+
+    # -- vector I$ + fetch-buffer kernel --------------------------------------
+
+    def _ifetch(self, lanes, pcs, robv):
+        """Vector I$ probe + refill for one round's mapped fetches.
+
+        Same 2-way probe/victim kernel as the Rocket engine, with BOOM's
+        fetch-plane arms folded into the scatter: the fault arm's false
+        side, ``fb_empty`` (= miss: a refill drains the fetch buffer) and
+        ``fb_full`` against the post-drain ROB occupancy ``robv``.
+        Returns the miss mask.
+        """
+        np = _np
+        ic = self.ic
+        key = (pcs >> np.uint64(self.off_bits)).astype(np.int64)
+        idx = key & self.ic_mask
+        tag = key >> self.ic_tag_shift
+        v0 = ic.valid[lanes, idx, 0]
+        t0 = ic.tag[lanes, idx, 0]
+        v1 = ic.valid[lanes, idx, 1]
+        t1 = ic.tag[lanes, idx, 1]
+        h0 = v0 & (t0 == tag)
+        h1 = ~h0 & v1 & (t1 == tag)
+        hit = h0 | h1
+        miss = ~hit
+        l0 = ic.lru[lanes, idx, 0]
+        l1 = ic.lru[lanes, idx, 1]
+        take0a = (v0 < v1) | ((v0 == v1) & (l0 <= l1))
+        vvalida = np.where(take0a, v0, v1)
+        self._recb("bic", _BIC_SPEC, lanes,
+                   (hit, miss, h0, h1, v0 & v1, vvalida,
+                    miss, robv >= self.params.rob_entries - 2),
+                   (hit, hit, miss, miss))
+        hp = hit.nonzero()[0]
+        if hp.size:
+            lh = lanes[hp]
+            ic.clock[lh] += 1
+            way = np.where(h0[hp], 0, 1)
+            ic.lru[lh, idx[hp], way] = ic.clock[lh]
+        mp = miss.nonzero()[0]
+        if mp.size:
+            lm = lanes[mp]
+            im = idx[mp]
+            take0 = take0a[mp]
+            vvalid = vvalida[mp]
+            vtag = np.where(take0, t0[mp], t1[mp])
+            ic.last_ev[lm] = np.where(
+                vvalid, (vtag << self.ic_tag_shift) | im, ic.last_ev[lm])
+            ic.last_ev_valid[lm] = vvalid
+            way = np.where(take0, 0, 1)
+            ic.valid[lm, im, way] = True
+            ic.dirty[lm, im, way] = False
+            ic.tag[lm, im, way] = tag[mp]
+            ic.clock[lm] += 1
+            ic.lru[lm, im, way] = ic.clock[lm]
+        return miss
+
+    # -- analytic trap-handler fast-forward ----------------------------------
+
+    def _bhskip_const(self):
+        """Constant coverage row of one clean handler pass.
+
+        Derived from the instruction walk of the stock image (csrrw x31 /
+        csrrs x31,x0 / addi x31 / csrrw x0 / csrrw x31 / mret): e.g.
+        ``rs1_ready`` is true at i1 (rs1=x0) and false at i2 (addi reads
+        x31 straight after the csrrs renames it), so both arms are
+        constant; the drain alternates every other retirement, so three of
+        the six steps see ``commit_two`` each way regardless of entry
+        parity.  ``csr.write`` hits both arms because csrrw always writes
+        while csrrs with rs1=x0 (and addi/mret) never does.
+        """
+        row = self._bhskip_row
+        if row is None:
+            ip = self._ip
+            arms = [
+                ("boom.rename.rd_x0", False),        # i0/i1/i2/i4 -> x31
+                ("boom.rename.rd_x0", True),         # i3 -> x0
+                ("boom.rename.waw_remap", True),     # i1/i2/i4 re-rename x31
+                ("boom.issue.rs1_ready", True),
+                ("boom.issue.rs1_ready", False),
+                ("boom.issue.rs2_ready", True),      # no rs2 traffic
+                ("boom.issue.wakeup_bypass", True),
+                ("boom.issue.wakeup_bypass", False),
+                ("boom.rob.commit_two", True),
+                ("boom.rob.commit_two", False),
+                ("boom.frontend.ras_push", False),   # no calls/returns
+                ("boom.frontend.ras_pop", False),
+                ("boom.csr.in_user_mode", False),    # the pass runs in M
+                ("boom.csr.trap_taken", False),
+                ("boom.rob.exception_at_head", False),
+                ("boom.csr.write", True),
+                ("boom.csr.write", False),
+                ("boom.csr.mret", True),
+                ("boom.csr.mret", False),
+                ("boom.csr.wfi", False),
+            ]
+            m = 0
+            for name, val in arms:
+                m |= ip[name][val]
+            row = self.sim._row(m)
+            row |= self._bhskip_dm
+            self._bhskip_row = row
+        return row
+
+    def _handler_skip(self, cl, tpc, cyc, rob, iqo, busy, ldq, stq,
+                      rsd) -> None:
+        """Apply one clean trap-handler pass as six unrolled vector steps.
+
+        A trap whose handler image is pristine (``handler_ok``) and whose
+        mtvec still targets it runs six fixed instructions with no
+        branches, no memory ops and no further traps, then lands back in
+        the body at mepc+4.  Stepping those six rounds through the full
+        vector round is the dominant cost of trap-heavy workloads (the
+        handler commits are untraced, so most trap-chain lane-steps
+        produce no trace entries) — and because the commits carry no
+        branches or memory ops, each round pays the whole kernel for a
+        handful of occupancy updates.  Instead, fast-forward the pass at
+        trap entry: BOOM's queue levels depend on the entry state, so the
+        drain/rename/issue/ROB walk is replayed exactly — but unrolled
+        over the *trap lanes only*, with the per-step full/empty arms
+        folded into one compiled scatter, the I$ kernel run once per
+        handler line (remaining fetches collapse to one record and a
+        clock bump), and everything entry-independent OR'd as one cached
+        constant row.  The exit state is closed-form: x31 is saved and
+        restored so the register file is net-unchanged, mepc = mscratch =
+        return pc, mret recomposes mstatus and drops back to the trapped
+        privilege, and the wakeup window always ends empty (mret has no
+        rd).
+
+        ``rob`` .. ``rsd`` are the round's act-space occupancy arrays
+        (mutated at ``tpc``, scattered back by the round's epilogue).
+        Bit-identical to the stepwise rounds; lanes that would die
+        mid-handler (steps budget) are excluded by the caller and keep
+        the stepwise path.
+        """
+        np = _np
+        c = self.c
+        p = self.params
+        csrv = self.csrv
+        u0 = c["u0"]
+        # architectural values surfacing in result arms
+        mscr_old = csrv[spec.CSR_MSCRATCH][cl]
+        x31_old = self.regs_flat[cl * 32 + 31]
+        v2 = csrv[spec.CSR_MEPC][cl]            # written at trap entry
+        v3 = (v2 + c["u4"]) & c["mask"]         # return pc (even, so the
+        #                                         mepc write mask is a no-op)
+        # i0's WAW arm reads the pre-trap renamed bitmap; i1/i2/i4 then
+        # re-rename x31 with the bit guaranteed set.
+        ren31 = self.renamed[cl, 31]
+        self.renamed[cl, 31] = True
+        # occupancy walk: six unrolled steps over the trap lanes, exactly
+        # the scalar order (drain, fetch, rename, issue, ROB, retire)
+        ROBN = np.int64(p.rob_entries)
+        IQN = np.int64(p.issue_queue_entries)
+        PHN = np.int64(p.phys_regs - 32)
+        PEN = np.int64(p.icache_miss_penalty)
+        z = np.int64(0)
+        lst = self.last_stall[cl]
+        rsdv = rsd[tpc]
+        robv = rob[tpc]
+        iqv = iqo[tpc]
+        busyv = busy[tpc]
+        ldqv = ldq[tpc]
+        stqv = stq[tpc]
+        dcyc = np.zeros(cl.size, dtype=np.int64)
+        step_vals: list = []
+        fbf_vals: list = []
+        ones = np.ones(cl.size, dtype=bool)
+        ic = self.ic
+        for k in range(self.nhandler):
+            start_c = dcyc.copy()
+            # drain
+            rsdv = rsdv + 1
+            robv = np.minimum(ROBN, robv + lst // 2)
+            iqv = np.minimum(IQN, iqv + lst // 4)
+            busyv = np.minimum(PHN, busyv + lst // 4)
+            drm = rsdv >= 2
+            dcyc += drm
+            robv = np.where(drm, np.maximum(z, robv - 2), robv)
+            iqv = np.where(drm, np.maximum(z, iqv - 2), iqv)
+            ldqv = np.where(drm, np.maximum(z, ldqv - 1), ldqv)
+            stqv = np.where(drm, np.maximum(z, stqv - 1), stqv)
+            busyv = np.where(drm, np.maximum(z, busyv - 2), busyv)
+            rsdv = np.where(drm, z, rsdv)
+            # fetch: real I$ kernel at each line's first access (its own
+            # fb arms ride the kernel's scatter), collapsed record +
+            # clock/LRU bump for the sequential re-fetches of that line
+            info = self._hfirst.get(k)
+            if info is not None:
+                key, cnt = info
+                miss = self._ifetch(
+                    cl,
+                    np.full(cl.size, np.uint64(key << self.off_bits),
+                            dtype=np.uint64),
+                    robv)
+                dcyc += np.where(miss, PEN, z)
+                if cnt > 1:
+                    idx0 = key & self.ic_mask
+                    tag0 = key >> self.ic_tag_shift
+                    w0 = ic.valid[cl, idx0, 0] & (ic.tag[cl, idx0, 0]
+                                                  == tag0)
+                    self._recb("bicc", _BIC_COLLAPSE_SPEC, cl, (w0, ~w0),
+                               (ones, ones))
+                    ic.clock[cl] += cnt - 1
+                    ic.lru[cl, idx0, np.where(w0, 0, 1)] = ic.clock[cl]
+            else:
+                fbf_vals.append(robv >= ROBN - 2)
+            # rename
+            if self._h_wnz[k]:
+                busyv = busyv + 1
+            free = PHN - busyv
+            fstl = free <= 0
+            dcyc += 2 * fstl
+            busyv = np.where(fstl, np.maximum(z, busyv - 4), busyv)
+            # issue
+            iqv = iqv + 1
+            iqf = iqv >= IQN
+            dcyc += iqf
+            step_vals.extend((free <= 4, fstl, iqf, iqv <= 1))
+            iqv = np.where(iqf, iqv - 2, iqv)
+            # ROB
+            robv = robv + 1
+            robf = robv >= ROBN
+            dcyc += robf
+            step_vals.extend((robf, robv <= 1))
+            robv = np.where(robf, robv - 2, robv)
+            # retire: the next step's refills read this step's stall
+            lst = dcyc - start_c
+        self._recb("bhskip", self._bhskip_spec, cl,
+                   (ren31, *step_vals, *fbf_vals,
+                    mscr_old == u0, v2 == u0, v3 == u0, x31_old == u0))
+        self.covmat[cl] |= self._bhskip_const()
+        # exit state: CSRs, privilege, pc (vector CSRFile write + K_MRET)
+        csrv[spec.CSR_MEPC][cl] = v3
+        csrv[spec.CSR_MSCRATCH][cl] = v3
+        ms = csrv[spec.CSR_MSTATUS][cl]
+        keep = np.uint64(spec.WORD_MASK
+                         & ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_MASK))
+        npv = (ms >> np.uint64(MSTATUS_MPP_SHIFT)) & c["u3"]
+        msn = ms & keep
+        msn |= np.where((ms & np.uint64(MSTATUS_MPIE)) != 0,
+                        np.uint64(MSTATUS_MIE), u0)
+        msn |= np.uint64(MSTATUS_MPIE)
+        csrv[spec.CSR_MSTATUS][cl] = msn
+        self.priv[cl] = npv.astype(np.int64)
+        if (npv != np.uint64(spec.PRV_M)).any():
+            self.all_m = False
+        self.pc[cl] = v3
+        # occupancy + wakeup-window exit state
+        rob[tpc] = robv
+        iqo[tpc] = iqv
+        busy[tpc] = busyv
+        ldq[tpc] = ldqv
+        stq[tpc] = stqv
+        rsd[tpc] = rsdv
+        self.last_stall[cl] = lst
+        self.prev_rd[cl] = -1           # mret has no rd
+        self.steps[cl] += self.nhandler
+        cyc[tpc] += dcyc
+
+    # -- the BOOM round -------------------------------------------------------
+
+    #: Below this many active lanes a vector round's fixed numpy-dispatch
+    #: cost exceeds the scalar core's per-step cost, so the straggler tail
+    #: (deep trap chains, runaway loops) finishes on the scalar core via
+    #: the exact to-completion peel.
+    _TAIL_PEEL = 12
+
+    def _round(self, act) -> None:
+        np = _np
+        c = self.c
+        p = self.params
+        fnz = _nz1
+        if act.size <= self._TAIL_PEEL:
+            for lane in act.tolist():
+                self._peel(int(lane), to_completion=True)
+            return
+        n = act.size
+        pcs = self.pc[act]
+
+        # --- fetch classification ----------------------------------------
+        moff = pcs - c["dram"]
+        mapped = moff <= c["dlim"]
+        aligned = (pcs & c["u3"]) == c["u0"]
+        toff = pcs - self.base_u
+        hoff = pcs - self.hvec
+        in_handler = hoff < self.hspan
+        okf = mapped & aligned
+        in_code = okf & (toff < self.tab_u)
+        in_htab = okf & (hoff < self.hspan)
+        in_tab = in_code | in_htab
+
+        # --- result planes (same layout as the golden round) ---------------
+        r_cause = np.full(n, -1, dtype=np.int64)
+        r_tval = np.zeros(n, dtype=np.uint64)
+        r_peel = np.zeros(n, dtype=bool)
+        r_halt = np.zeros(n, dtype=bool)
+        r_npc = pcs + c["u4"]
+        r_hasrd = np.zeros(n, dtype=bool)
+        r_val = np.zeros(n, dtype=np.uint64)
+        r_memk = np.zeros(n, dtype=np.int64)
+        r_mema = np.zeros(n, dtype=np.uint64)
+        r_mems = np.zeros(n, dtype=np.int64)
+        r_memd = np.zeros(n, dtype=np.uint64)
+        r_csra = np.full(n, -1, dtype=np.int64)
+        r_csrv = np.zeros(n, dtype=np.uint64)
+
+        # --- dispatch-table gather (pure reads: includes lanes that later
+        # peel — nothing may take effect until the peel set is known) ------
+        it = fnz(in_tab)
+        lanes_it = act[it]
+        slots = np.where(
+            in_code[it],
+            (toff[it] >> c["u2"]).astype(np.int64),
+            np.int64(self.ncode) + (hoff[it] >> c["u2"]).astype(np.int64),
+        )
+        flat = lanes_it * self.width + slots
+        rec = self.packed_flat[flat]
+        imm = self.imm_flat[flat]
+        word = self.words_flat[flat]
+        kind = rec & 0xFF
+        rd = (rec >> 8) & 0xFF
+        rs1 = (rec >> 16) & 0xFF
+        rs2 = (rec >> 24) & 0xFF
+        flags = rec >> 32
+        a = self.regs_flat[lanes_it * 32 + rs1]
+        breg = self.regs_flat[lanes_it * 32 + rs2]
+        b = np.where((flags & F_IMM) != 0, imm, breg)
+
+        # act-space scatters of the per-word planes
+        kf = np.full(n, -1, dtype=np.int64)
+        kf[it] = kind
+        mf = np.zeros(n, dtype=np.int64)
+        mf[it] = self.meta_flat[flat]
+        immf = np.zeros(n, dtype=np.int64)
+        immf[it] = imm.astype(np.int64)
+        dmif = np.full(n, -1, dtype=np.int64)
+        dmif[it] = self.dmidx_flat[flat]
+        r_word = np.zeros(n, dtype=np.uint32)
+        r_word[it] = word
+        r_rd = np.zeros(n, dtype=np.int64)
+        r_rd[it] = rd
+
+        # --- peel classification (before any vector side effect) ----------
+        peelm = mapped & ~aligned       # misaligned pc: scalar-only path
+        rest = okf & ~in_tab
+        oowm = np.zeros(n, dtype=bool)
+        if rest.any():
+            ra = fnz(rest)
+            aw = self.arena32[act[ra], (moff[ra] >> c["u2"]).astype(np.int64)]
+            zero = aw == 0
+            oowm[ra[zero]] = True       # zero word: vector illegal trap
+            peelm[ra[~zero]] = True     # real code outside the table
+        if lanes_it.size:
+            peelm[it[kind == K_PEEL]] = True
+            pa = fnz(kind == K_AMO)
+            if pa.size:
+                # Mapped, aligned atomics run scalar; faulting ones trap in
+                # the vector plane (the kernel raises them exactly).
+                wl = (flags[pa] >> 1) & 3
+                wsz = np.where(wl == 2, np.uint64(4), np.uint64(8))
+                addr = a[pa]
+                ok = (((addr & (wsz - c["u1"])) == c["u0"])
+                      & ((addr - c["dram"]) <= (c["dsize"] - wsz)))
+                peelm[it[pa[ok]]] = True
+        npm = ~peelm
+        lanes_np = act[npm]
+
+        # --- occupancy drain (pre-fetch, exactly the scalar order; the
+        # instruction's stall accounting starts before the drain cycle) ----
+        cyc = self.cycles[act]       # fancy indexing: already a fresh copy
+        cyc0 = cyc.copy()
+        rob = self.rob_occ[act]
+        iqo = self.iq_occ[act]
+        busy = self.busy_reg[act]
+        ldq = self.ldq_occ[act]
+        stq = self.stq_occ[act]
+        rsd = self.rsd[act] + 1
+        lst = self.last_stall[act]
+        z = np.int64(0)
+        rob = np.minimum(np.int64(p.rob_entries), rob + lst // 2)
+        iqo = np.minimum(np.int64(p.issue_queue_entries), iqo + lst // 4)
+        busy = np.minimum(np.int64(p.phys_regs - 32), busy + lst // 4)
+        dr = fnz(rsd >= 2)
+        if dr.size:
+            cyc[dr] += 1
+            rob[dr] = np.maximum(z, rob[dr] - 2)
+            iqo[dr] = np.maximum(z, iqo[dr] - 2)
+            ldq[dr] = np.maximum(z, ldq[dr] - 1)
+            stq[dr] = np.maximum(z, stq[dr] - 1)
+            busy[dr] = np.maximum(z, busy[dr] - 2)
+            rsd[dr] = 0
+
+        # --- fetch: fault plane + vector I$ --------------------------------
+        um = fnz(~mapped)               # unmapped lanes never peel
+        if um.size:
+            self._rec_true(act[um], "boom.frontend.fetch_fault")
+        pm = fnz(mapped & npm)
+        if pm.size:
+            miss = self._ifetch(act[pm], pcs[pm], rob[pm])
+            cyc[pm[miss]] += p.icache_miss_penalty
+
+        # --- decode condition rows ----------------------------------------
+        if oowm.any():
+            _zmeta, zidx = self._meta_rec(0)
+            dmif[oowm] = zidx
+        dp = fnz((dmif >= 0) & npm)
+        if dp.size:
+            self.covmat[act[dp]] |= self._dm_matrix()[dmif[dp]]
+
+        # --- rename / issue / ROB / RAS stage + predictor probe — runs
+        # for lanes that later trap in execute, too ------------------------
+        d = fnz(npm & in_tab & (kf != K_ILLEGAL))
+        pred = np.zeros(n, dtype=bool)
+        if d.size:
+            lanes_d = act[d]
+            md = mf[d]
+            mrd = md & 31
+            mrs1 = (md >> 5) & 31
+            mrs2 = (md >> 10) & 31
+            # rename: WAW detection against the per-lane renamed bitmap,
+            # free-list pressure from the busy-physical-registers column
+            wrd = (md & M_WRD) != 0
+            wnz = wrd & (mrd != 0)
+            waw = np.zeros(d.size, dtype=bool)
+            wi = fnz(wnz)
+            if wi.size:
+                lw = lanes_d[wi]
+                rdw = mrd[wi]
+                waw[wi] = self.renamed[lw, rdw]
+                self.renamed[lw, rdw] = True
+                busy[d[wi]] += 1
+            free = np.int64(p.phys_regs - 32) - busy[d]
+            flow = free <= 4
+            fstl = free <= 0
+            fs = fnz(fstl)
+            if fs.size:
+                cyc[d[fs]] += 2
+                busy[d[fs]] = np.maximum(z, busy[d[fs]] - 4)
+            # issue queue
+            iqo[d] += 1
+            iqv = iqo[d]
+            iq_full = iqv >= p.issue_queue_entries
+            iq_empty = iqv <= 1
+            qf = fnz(iq_full)
+            if qf.size:
+                cyc[d[qf]] += 1
+                iqo[d[qf]] -= 2
+            prd = self.prev_rd[lanes_d]
+            rs1_dep = ((md & M_RS1READ) != 0) & (mrs1 != 0) & (mrs1 == prd)
+            rs2_dep = ((md & M_RS2READ) != 0) & (mrs2 != 0) & (mrs2 == prd)
+            # ROB
+            rob[d] += 1
+            robv = rob[d]
+            rob_full = robv >= p.rob_entries
+            rob_empty = robv <= 1
+            commit2 = rsd[d] == 0
+            rf = fnz(rob_full)
+            if rf.size:
+                cyc[d[rf]] += 1
+                rob[d[rf]] -= 2
+            # RAS: calls push, returns pop; only the depth is live state
+            is_call = ((md & M_JUMP) != 0) & (mrd == 1)
+            is_ret = ((md & M_JALR) != 0) & (mrd == 0) & (mrs1 == 1)
+            depth = self.ras_depth[lanes_d]
+            ras_over = depth >= p.ras_entries
+            ras_under = depth == 0
+            self.ras_depth[lanes_d] = np.where(
+                is_call,
+                np.minimum(np.int64(p.ras_entries), depth + 1),
+                np.where(is_ret, np.maximum(z, depth - 1), depth),
+            )
+            # predictor probe: SoA BTB gather, recorded (and consumed)
+            # only where the instruction is a branch
+            is_br_d = (md & M_BRANCH) != 0
+            pc_d = pcs[d]
+            slot_d = ((pc_d >> c["u2"]) % np.uint64(self.btb_n)).astype(
+                np.int64)
+            bv_d = self.btb_valid[lanes_d, slot_d]
+            bpc_d = self.btb_pc[lanes_d, slot_d]
+            hitb = bv_d & (bpc_d == pc_d)
+            ptaken = hitb & (self.btb_ctr[lanes_d, slot_d] >= 2)
+            self._recb("bdstage", _BDSTAGE_SPEC, lanes_d, (
+                mrd == 0, waw, flow, fstl,
+                iq_full, iq_empty, ~rs1_dep, ~rs2_dep, rs1_dep | rs2_dep,
+                rob_full, rob_empty, commit2,
+                is_call, is_ret, ras_over, ras_under,
+                self.priv[lanes_d] == spec.PRV_U,
+                hitb, bv_d & (bpc_d != pc_d), ptaken,
+            ), (wrd, wnz, is_call, is_ret, is_br_d, is_br_d, is_br_d))
+            pred[d] = ptaken & is_br_d
+
+        # --- per-kind execution via the golden kernels --------------------
+        prv_before = self.priv[act]
+        sel = fnz(npm[it]) if it.size else it
+        any_trap = any_halt = any_mem = any_csr = False
+        if sel.size:
+            it2 = it[sel]
+            any_trap, _exec_peel, any_halt, any_mem, any_csr = self._exec_kinds(
+                act, it2, act[it2], kind[sel], rd[sel], rs1[sel], rs2[sel],
+                flags[sel], a[sel], b[sel], breg[sel], imm[sel], pcs[it2],
+                word[sel],
+                r_cause, r_tval, r_peel, r_halt, r_npc, r_hasrd, r_val,
+                r_memk, r_mema, r_mems, r_memd, r_csra, r_csrv,
+            )
+        if um.size:
+            r_cause[um] = spec.EXC_INSTR_ACCESS_FAULT
+            r_tval[um] = pcs[um]
+            any_trap = True
+        ow = fnz(oowm)
+        if ow.size:
+            r_cause[ow] = spec.EXC_ILLEGAL_INSTRUCTION
+            any_trap = True             # tval/word stay 0 for a zero word
+
+        # --- stores into the handler image refresh its table columns ------
+        if any_mem:
+            sm = fnz(r_memk == 2)
+            if sm.size:
+                sa = r_mema[sm]
+                ss = r_mems[sm].astype(np.uint64)
+                th = (sa < self.hvec + self.hspan) & (sa + ss > self.hvec)
+                for pos in sm[th].tolist():
+                    self._refresh_handler(int(act[pos]))
+
+        # --- trap plane: real (non-analytic) trap entry --------------------
+        self._grow_cols(self.hi + 1)
+        self.hi += 1
+        cap = self.cap
+        tp = fnz(r_cause >= 0)
+        if tp.size:
+            lanes_t = act[tp]
+            decill = oowm[tp] | (kf[tp] == K_ILLEGAL)
+            fetchf = ~mapped[tp]
+            xp = tp[~decill & ~fetchf]      # traps raised by execute
+            if xp.size:
+                # Execute-raised traps additionally record the ROB-flush
+                # pair and (for memory ops) the LSU fault arms, zero the
+                # ROB/issue queue and clear the wakeup window — fetch and
+                # decode traps return before reaching any of these.
+                lanes_x = act[xp]
+                ismem_x = (mf[xp] & M_MEM) != 0
+                cx = r_cause[xp]
+                self._recb("btrap", _BTRAP_SPEC, lanes_x, (
+                    (cx == spec.EXC_LOAD_MISALIGNED)
+                    | (cx == spec.EXC_STORE_MISALIGNED),
+                    (cx == spec.EXC_LOAD_ACCESS_FAULT)
+                    | (cx == spec.EXC_STORE_ACCESS_FAULT),
+                ), (ismem_x, ismem_x))
+                rob[xp] = 0
+                iqo[xp] = 0
+                self.prev_rd[lanes_x] = -1
+            for cse in np.unique(r_cause[tp]).tolist():
+                lc = lanes_t[r_cause[tp] == cse]
+                self.covmat[lc] |= self.sim._trap_row(int(cse))
+            cyc[tp] += p.mispredict_penalty    # flush-and-redirect cost
+            cnt = self.counts[lanes_t]
+            self.c_pc[lanes_t, cnt] = pcs[tp]
+            self.c_word[lanes_t, cnt] = r_word[tp]
+            if not self.all_m:
+                self.c_priv[lanes_t, cnt] = prv_before[tp]
+            self.c_tc[lanes_t, cnt] = r_cause[tp]
+            self.c_tv[lanes_t, cnt] = r_tval[tp]
+            self.counts[lanes_t] = cnt + 1
+            self.traps[lanes_t] += 1
+            self.steps[lanes_t] += 1
+            self.res_valid[lanes_t] = False
+            # vector CSRFile.enter_trap
+            csrv = self.csrv
+            csrv[spec.CSR_MCAUSE][lanes_t] = r_cause[tp].astype(np.uint64)
+            csrv[spec.CSR_MEPC][lanes_t] = pcs[tp] & c["not1"]
+            csrv[spec.CSR_MTVAL][lanes_t] = r_tval[tp] & c["mask"]
+            ms = csrv[spec.CSR_MSTATUS][lanes_t]
+            keep = np.uint64(spec.WORD_MASK
+                             & ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_MASK))
+            msn = ms & keep
+            msn |= np.where((ms & np.uint64(MSTATUS_MIE)) != 0,
+                            np.uint64(MSTATUS_MPIE), np.uint64(0))
+            msn |= (prv_before[tp].astype(np.uint64)
+                    << np.uint64(MSTATUS_MPP_SHIFT))
+            csrv[spec.CSR_MSTATUS][lanes_t] = msn
+            self.pc[lanes_t] = (csrv[spec.CSR_MTVEC][lanes_t]
+                                & np.uint64(spec.WORD_MASK & ~0b11))
+            self.priv[lanes_t] = spec.PRV_M
+            stop3 = self.traps[lanes_t] >= self.config.max_traps
+            l3 = lanes_t[stop3]
+            self.stop_code[l3] = 3
+            self.running[l3] = False
+            if self._hskip_on:
+                cand = (self.running[lanes_t]
+                        & self.handler_ok[lanes_t]
+                        & self.mtvec_ok[lanes_t]
+                        & (self.steps[lanes_t] + self.nhandler
+                           <= self.config.max_steps))
+                hq = fnz(cand)
+                if hq.size:
+                    self._handler_skip(lanes_t[hq], tp[hq], cyc, rob, iqo,
+                                       busy, ldq, stq, rsd)
+
+        # --- plainly executed lanes ----------------------------------------
+        E = fnz(npm & ~r_peel & (r_cause < 0))
+        lanes_e = act[E]
+        if E.size:
+            mE = mf[E]
+            rdE = r_rd[E]
+            valE = r_val[E]
+            hasE = r_hasrd[E] & (rdE > 0)
+            # Register writeback first: the divide-operand condition reads
+            # the post-writeback register file, exactly like the scalar core.
+            wr = fnz(hasE)
+            if wr.size:
+                self.regs_flat[lanes_e[wr] * 32 + rdE[wr]] = valE[wr]
+
+            isbr = (mE & M_BRANCH) != 0
+            notseq = r_npc[E] != (pcs[E] + c["u4"])
+            taken = isbr & notseq
+            ismd = (mE & M_MULDIV) != 0
+            dvl = (mE & M_DIVLIKE) != 0
+            isdv = ismd & dvl
+            divisor = self.regs_flat[lanes_e * 32 + ((mE >> 10) & 31)]
+            # SoA BTB resolution: gathers/updates mirror BranchPredictor
+            # .update for every branch lane at once; the probe-side ``pred``
+            # vector carries the decode-stage prediction across.
+            pc_e = pcs[E]
+            slot_e = ((pc_e >> c["u2"]) % np.uint64(self.btb_n)).astype(
+                np.int64)
+            bv_e = self.btb_valid[lanes_e, slot_e]
+            bctr_e = self.btb_ctr[lanes_e, slot_e]
+            newent = ~(bv_e & (self.btb_pc[lanes_e, slot_e] == pc_e))
+            mispred = taken != pred[E]
+            ctr_upd = np.minimum(
+                np.int64(3),
+                np.maximum(np.int64(0), bctr_e + np.where(taken, 1, -1)))
+            oldent = isbr & ~newent
+            self._recb("bexec", _BEXEC_SPEC, lanes_e, (
+                notseq,
+                immf[E] < 0,
+                mispred, newent, ctr_upd == 3, ctr_upd == 0,
+                mispred,
+                divisor == c["u0"],
+                (mE & M_MULHI) != 0,
+                valE == c["u0"],
+                r_csra[E] >= 0,
+                kf[E] == K_MRET,
+                r_halt[E],
+            ), (isbr, isbr, isbr, isbr, oldent, oldent, isbr,
+                isdv, ismd & ~dvl, hasE))
+            bp2 = fnz(isbr)
+            if bp2.size:
+                lb2 = lanes_e[bp2]
+                sb2 = slot_e[bp2]
+                self.btb_valid[lb2, sb2] = True
+                self.btb_pc[lb2, sb2] = pc_e[bp2]
+                self.btb_ctr[lb2, sb2] = np.where(
+                    newent[bp2], np.where(taken[bp2], 2, 1), ctr_upd[bp2])
+                mp2 = bp2[mispred[bp2]]
+                if mp2.size:
+                    # mispredict: redirect penalty + pipeline flush
+                    cyc[E[mp2]] += p.mispredict_penalty
+                    rob[E[mp2]] = 0
+                    iqo[E[mp2]] = 0
+            cyc[E] += np.where(
+                ismd,
+                np.where(dvl, np.int64(p.div_latency),
+                         np.int64(p.mul_latency)),
+                z)
+
+            # LSU + D$ for non-trapping memory lanes
+            dcv = self.dc
+            mm = fnz(r_memk[E] != 0)
+            if mm.size:
+                lmm = lanes_e[mm]
+                Em = E[mm]
+                addr = r_mema[Em]
+                is_st = r_memk[Em] == 2
+                is_ld = ~is_st
+                sq = fnz(is_st)
+                stq[Em[sq]] += 1
+                lq = fnz(is_ld)
+                ldq[Em[lq]] += 1
+                stqv = stq[Em]
+                ldqv = ldq[Em]
+                stq_full = is_st & (stqv >= p.stq_entries)
+                ldq_full = is_ld & (ldqv >= p.ldq_entries)
+                sfp = fnz(stq_full)
+                if sfp.size:
+                    cyc[Em[sfp]] += 1
+                    stq[Em[sfp]] -= 1
+                lfp = fnz(ldq_full)
+                if lfp.size:
+                    cyc[Em[lfp]] += 1
+                    ldq[Em[lfp]] -= 1
+                # D$ probe/refill — same 2-way kernel as the Rocket engine
+                line_key = (addr >> np.uint64(self.off_bits)).astype(np.int64)
+                idx_s = line_key & self.dc_mask
+                tag_s = line_key >> self.dc_tag_shift
+                v0 = dcv.valid[lmm, idx_s, 0]
+                t0 = dcv.tag[lmm, idx_s, 0]
+                d0 = dcv.dirty[lmm, idx_s, 0]
+                v1 = dcv.valid[lmm, idx_s, 1]
+                t1 = dcv.tag[lmm, idx_s, 1]
+                d1 = dcv.dirty[lmm, idx_s, 1]
+                h0 = v0 & (t0 == tag_s)
+                h1 = ~h0 & v1 & (t1 == tag_s)
+                hit = h0 | h1
+                miss = ~hit
+                dhit = np.where(h0, d0, d1)     # dirty at the hit way
+                l0 = dcv.lru[lmm, idx_s, 0]
+                l1 = dcv.lru[lmm, idx_s, 1]
+                take0 = (v0 < v1) | ((v0 == v1) & (l0 <= l1))
+                vv = np.where(take0, v0, v1)
+                vdirty = np.where(take0, d0, d1)
+                ev_key = ((np.where(take0, t0, t1) << self.dc_tag_shift)
+                          | idx_s)
+                self._recb("blsu", _BLSU_SPEC, lmm, (
+                    stqv >= p.stq_entries,
+                    ldqv >= p.ldq_entries,
+                    stqv > 0,               # vector loads are never amo
+                    hit, miss, h0, h1, v0 & v1, vv, vv & vdirty,
+                    ~(hit & dhit),
+                ), (is_st, is_ld, is_ld, hit, hit, miss, miss, miss, is_st))
+                hp2 = fnz(hit)
+                if hp2.size:
+                    lh2 = lmm[hp2]
+                    dcv.clock[lh2] += 1
+                    dcv.lru[lh2, idx_s[hp2], np.where(h0[hp2], 0, 1)] = (
+                        dcv.clock[lh2])
+                mp3 = fnz(miss)
+                if mp3.size:
+                    lm2 = lmm[mp3]
+                    im2 = idx_s[mp3]
+                    wv2 = np.where(take0[mp3], 0, 1)
+                    dcv.last_ev[lm2] = np.where(vv[mp3], ev_key[mp3],
+                                                dcv.last_ev[lm2])
+                    dcv.last_ev_valid[lm2] = vv[mp3]
+                    dcv.valid[lm2, im2, wv2] = True
+                    dcv.dirty[lm2, im2, wv2] = False
+                    dcv.tag[lm2, im2, wv2] = tag_s[mp3]
+                    dcv.clock[lm2] += 1
+                    dcv.lru[lm2, im2, wv2] = dcv.clock[lm2]
+                    cyc[Em[mp3]] += p.dcache_miss_penalty
+                stp = fnz(is_st)
+                if stp.size:
+                    ls2 = lmm[stp]
+                    wfin = np.where(hit[stp], np.where(h0[stp], 0, 1),
+                                    np.where(take0[stp], 0, 1))
+                    dcv.dirty[ls2, idx_s[stp], wfin] = True
+
+            # retire: trace columns (handler commits are untraced, exactly
+            # like the scalar `if not in_handler` gate)
+            ret = fnz(~in_handler[E])
+            if ret.size:
+                Er = E[ret]
+                lr = lanes_e[ret]
+                rdt = np.where(hasE[ret], rdE[ret], np.int64(-1))
+                idx = self.counts[lr]
+                flatc = lr * cap + idx
+                self.c_pc_flat[flatc] = pcs[Er]
+                self.c_word_flat[flatc] = r_word[Er]
+                if not self.all_m:
+                    self.c_priv_flat[flatc] = prv_before[Er]
+                wv = fnz(rdt >= 0)
+                self.c_rdx_flat[flatc[wv]] = rdt[wv]
+                self.c_val_flat[flatc[wv]] = valE[ret][wv]
+                if any_mem:
+                    mmv = fnz(r_memk[Er] > 0)
+                    fm = flatc[mmv]
+                    self.c_memk_flat[fm] = r_memk[Er][mmv]
+                    self.c_mema_flat[fm] = r_mema[Er][mmv]
+                    self.c_mems_flat[fm] = r_mems[Er][mmv]
+                    self.c_memd_flat[fm] = r_memd[Er][mmv]
+                if any_csr:
+                    cmv = fnz(r_csra[Er] >= 0)
+                    fc = flatc[cmv]
+                    self.c_ca_flat[fc] = r_csra[Er][cmv]
+                    self.c_cv_flat[fc] = r_csrv[Er][cmv]
+                self.counts[lr] = idx + 1
+
+            # wakeup window + stall accounting, unconditional at retirement
+            self.prev_rd[lanes_e] = np.where(hasE, rdE, np.int64(-1))
+            self.last_stall[lanes_e] = cyc[E] - cyc0[E]
+            self.pc[lanes_e] = r_npc[E]
+            self.steps[lanes_e] += 1
+
+            hl = fnz(r_halt[E])
+            if hl.size:
+                lh = lanes_e[hl]
+                self.stop_code[lh] = 1
+                self.running[lh] = False
+
+        # budget cutoff applies to every vector lane that stepped (scalar
+        # checks it at the top of the NEXT step_cycle, which is equivalent)
+        over = fnz(npm & (self.steps[act] >= self.config.max_steps)
+                   & self.running[act])
+        if over.size:
+            lo = act[over]
+            self.stop_code[lo] = 2
+            self.running[lo] = False
+
+        self.cycles[lanes_np] = cyc[npm]
+        self.rob_occ[lanes_np] = rob[npm]
+        self.iq_occ[lanes_np] = iqo[npm]
+        self.busy_reg[lanes_np] = busy[npm]
+        self.ldq_occ[lanes_np] = ldq[npm]
+        self.stq_occ[lanes_np] = stq[npm]
+        self.rsd[lanes_np] = rsd[npm]
+
+        # peel dispatch last: the scalar core sees every vector side effect
+        for pos in fnz(peelm | r_peel).tolist():
+            self._peel(int(act[pos]))
+
+    # -- scalar peel bridge --------------------------------------------------
+
+    def _splice_in(self, lane: int, rs) -> None:
+        """Load one lane's microarchitectural state into the scalar core."""
+        core = self.core
+        self._cache_in(core.icache, self.ic, lane)
+        self._cache_in(core.dcache, self.dc, lane)
+        btb = core.predictor.btb
+        for s in range(self.btb_n):
+            if self.btb_valid[lane, s]:
+                btb[s] = {"pc": int(self.btb_pc[lane, s]),
+                          "ctr": int(self.btb_ctr[lane, s])}
+            else:
+                btb[s] = None
+        rs.iterations = int(self.steps[lane])
+        rs.cycles = int(self.cycles[lane])
+        rs.traps_taken = int(self.traps[lane])
+        # RAS values are dead state (only the depth feeds conditions and
+        # pops discard the value), so the depth column reconstructs it.
+        rs.ras = [0] * int(self.ras_depth[lane])
+        rs.busy_phys = int(self.busy_reg[lane])
+        rs.renamed = set(_np.flatnonzero(self.renamed[lane]).tolist())
+        rs.rob_occupancy = int(self.rob_occ[lane])
+        rs.iq_occupancy = int(self.iq_occ[lane])
+        rs.ldq = int(self.ldq_occ[lane])
+        rs.stq = int(self.stq_occ[lane])
+        rs.retired_since_drain = int(self.rsd[lane])
+        pr = int(self.prev_rd[lane])
+        rs.prev_rd = pr if pr >= 0 else None
+        rs.last_stall = int(self.last_stall[lane])
+
+    def _splice_out(self, lane: int, rs) -> None:
+        """Store the scalar core's state back into the lane's SoA planes."""
+        core = self.core
+        self._cache_out(core.icache, self.ic, lane)
+        self._cache_out(core.dcache, self.dc, lane)
+        for s, e in enumerate(core.predictor.btb):
+            if e is None:
+                self.btb_valid[lane, s] = False
+            else:
+                self.btb_valid[lane, s] = True
+                self.btb_pc[lane, s] = e["pc"]
+                self.btb_ctr[lane, s] = e["ctr"]
+        self.cycles[lane] = rs.cycles
+        self.ras_depth[lane] = len(rs.ras)
+        self.busy_reg[lane] = rs.busy_phys
+        row = self.renamed[lane]
+        row[:] = False
+        if rs.renamed:
+            row[list(rs.renamed)] = True
+        self.rob_occ[lane] = rs.rob_occupancy
+        self.iq_occ[lane] = rs.iq_occupancy
+        self.ldq_occ[lane] = rs.ldq
+        self.stq_occ[lane] = rs.stq
+        self.rsd[lane] = rs.retired_since_drain
+        self.prev_rd[lane] = -1 if rs.prev_rd is None else rs.prev_rd
+        self.last_stall[lane] = rs.last_stall
+
+    def _dut_rejoinable(self, lane: int, rs) -> bool:
+        """May this peeled lane resume vector execution at its current pc?
+
+        An aligned pc inside the dispatch table (code or handler) suffices:
+        BOOM's I$ snoops stores (fetch always reads backing memory), so
+        there is no stale-line state to keep a lane scalar for.
+        """
+        pc = rs.state.pc
+        if pc & 3:
+            return False
+        off = pc - self.base
+        hoff = pc - spec.TRAP_VECTOR
+        return 0 <= off < 4 * self.lmax or 0 <= hoff < 4 * self.nhandler

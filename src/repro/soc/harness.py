@@ -12,12 +12,80 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Callable, NamedTuple
 
 from repro.golden.simulator import GoldenSimulator, SimConfig
 from repro.golden.trace import CommitTrace
 from repro.isa.encoder import encode
 from repro.isa.spec import DRAM_BASE
 from repro.rtl.report import CoverageReport
+
+
+# -- engine-capability registry ----------------------------------------------
+
+
+class EngineSpec(NamedTuple):
+    """What one harness kind can do.
+
+    ``batch_cls`` is the kind's batched DUT engine (a
+    ``DutBatchSimulator``-shaped class) or ``None`` for kinds that only
+    have a scalar core — requesting ``dut_lanes`` on those fails loudly.
+    """
+
+    core_cls: type
+    params_cls: type
+    batch_cls: type | None
+
+
+def _load_rocket() -> EngineSpec:
+    from repro.soc.batch import DutBatchSimulator
+    from repro.soc.rocket import RocketCore, RocketParams
+
+    return EngineSpec(RocketCore, RocketParams, DutBatchSimulator)
+
+
+def _load_boom() -> EngineSpec:
+    from repro.soc.batch_boom import BoomBatchSimulator
+    from repro.soc.boom import BoomCore, BoomParams
+
+    return EngineSpec(BoomCore, BoomParams, BoomBatchSimulator)
+
+
+#: kind -> lazy :class:`EngineSpec` loader.  This is the single place a
+#: harness kind declares its core, params and (optional) batch engine:
+#: adding a core kind means adding one loader entry here — the harness,
+#: factory and fleet layers all dispatch through it.
+ENGINE_REGISTRY: dict[str, Callable[[], EngineSpec]] = {
+    "rocket": _load_rocket,
+    "boom": _load_boom,
+}
+
+#: Harness kinds a :class:`HarnessFactory` can build (CampaignSpec wiring).
+HARNESS_KINDS = tuple(ENGINE_REGISTRY)
+
+
+def resolve_engine(kind: str) -> EngineSpec:
+    """Registry lookup with the loud unknown-kind error.
+
+    Deliberately uncached: the loaders only touch ``sys.modules`` after
+    the first import, and tests register throwaway kinds.
+    """
+    try:
+        loader = ENGINE_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown harness kind: {kind!r} (expected one of {HARNESS_KINDS})"
+        ) from None
+    return loader()
+
+
+def _batch_engine_for(core) -> type | None:
+    """The registered batch engine matching a scalar core, if any."""
+    for kind in ENGINE_REGISTRY:
+        spec = resolve_engine(kind)
+        if isinstance(core, spec.core_cls):
+            return spec.batch_cls
+    return None
 
 
 @lru_cache(maxsize=1)
@@ -108,13 +176,16 @@ class DutHarness:
         (pinned by ``tests/golden/test_batch.py``) but several times
         faster on whole batches.
     dut_lanes:
-        Lane-group width for the batched DUT engine
-        (:class:`repro.soc.batch.DutBatchSimulator`).  ``0`` (the default)
+        Lane-group width for the batched DUT engine of the core's kind
+        (:class:`repro.soc.batch.DutBatchSimulator` for Rocket,
+        :class:`repro.soc.batch_boom.BoomBatchSimulator` for BOOM,
+        resolved through :data:`ENGINE_REGISTRY`).  ``0`` (the default)
         keeps the scalar DUT; any positive width routes
         :meth:`run_dut_batch` / :meth:`run_differential_batch` through
         numpy lane execution producing bit-identical traces *and* coverage
-        reports (pinned by ``tests/soc/test_batch.py``).  Only the Rocket
-        core has a batch engine; BOOM harnesses must leave this at 0.
+        reports (pinned by ``tests/soc/test_batch.py`` and
+        ``tests/soc/test_batch_boom.py``).  Cores whose kind declares no
+        batch engine reject it loudly.
     """
 
     def __init__(self, core, max_steps: int = 4096,
@@ -133,14 +204,12 @@ class DutHarness:
                 SimConfig(max_steps=max_steps), lanes=golden_lanes
             )
         if dut_lanes > 0:
-            from repro.soc.batch import DutBatchSimulator
-            from repro.soc.rocket import RocketCore
-
-            if not isinstance(core, RocketCore):
+            batch_cls = _batch_engine_for(core)
+            if batch_cls is None:
                 raise ValueError(
-                    "dut_lanes requires a RocketCore DUT (BOOM has no "
-                    "batch engine)")
-            self._dut_batch = DutBatchSimulator(core.params, lanes=dut_lanes)
+                    f"dut_lanes requires a DUT core with a batch engine; "
+                    f"{type(core).__name__} declares none in ENGINE_REGISTRY")
+            self._dut_batch = batch_cls(core.params, lanes=dut_lanes)
 
     @property
     def total_arms(self) -> int:
@@ -205,23 +274,26 @@ class DutHarness:
                 in zip(dut_results, golden_traces)]
 
 
-def make_rocket_harness(params=None, golden_lanes: int = 0,
-                        dut_lanes: int = 0) -> DutHarness:
-    """Harness around a (buggy, by default) RocketCore."""
-    from repro.soc.rocket import RocketCore, RocketParams
-
-    core_params = params or RocketParams()
-    return DutHarness(RocketCore(core_params), max_steps=core_params.max_steps,
+def make_harness(kind: str = "rocket", params=None, golden_lanes: int = 0,
+                 dut_lanes: int = 0) -> DutHarness:
+    """Harness around any registered core kind, batch engines included."""
+    engine = resolve_engine(kind)
+    core_params = params or engine.params_cls()
+    return DutHarness(engine.core_cls(core_params),
+                      max_steps=core_params.max_steps,
                       golden_lanes=golden_lanes, dut_lanes=dut_lanes)
 
 
-def make_boom_harness(params=None, golden_lanes: int = 0) -> DutHarness:
-    """Harness around a BoomCore (scalar DUT only — no batch engine)."""
-    from repro.soc.boom import BoomCore, BoomParams
+def make_rocket_harness(params=None, golden_lanes: int = 0,
+                        dut_lanes: int = 0) -> DutHarness:
+    """Harness around a (buggy, by default) RocketCore."""
+    return make_harness("rocket", params, golden_lanes, dut_lanes)
 
-    core_params = params or BoomParams()
-    return DutHarness(BoomCore(core_params), max_steps=core_params.max_steps,
-                      golden_lanes=golden_lanes)
+
+def make_boom_harness(params=None, golden_lanes: int = 0,
+                      dut_lanes: int = 0) -> DutHarness:
+    """Harness around a BoomCore."""
+    return make_harness("boom", params, golden_lanes, dut_lanes)
 
 
 @dataclass(frozen=True)
@@ -240,41 +312,31 @@ class HarnessFactory:
     params: object = None
     #: Lane-group width for the batched golden engine (0 = scalar golden).
     golden_lanes: int = 0
-    #: Lane-group width for the batched DUT engine (0 = scalar DUT;
-    #: Rocket only — BOOM harnesses ignore it with a loud error).
+    #: Lane-group width for the kind's batched DUT engine (0 = scalar DUT;
+    #: kinds without a registered engine reject it with a loud error).
     dut_lanes: int = 0
 
     def __call__(self) -> DutHarness:
-        if self.kind == "rocket":
-            return make_rocket_harness(self.params, self.golden_lanes,
-                                       self.dut_lanes)
-        if self.kind == "boom":
-            if self.dut_lanes:
-                raise ValueError("dut_lanes requires the rocket harness")
-            return make_boom_harness(self.params, self.golden_lanes)
-        raise ValueError(f"unknown harness kind: {self.kind!r}")
-
-
-#: Harness kinds a :class:`HarnessFactory` can build (CampaignSpec wiring).
-HARNESS_KINDS = ("rocket", "boom")
+        return make_harness(self.kind, self.params, self.golden_lanes,
+                            self.dut_lanes)
 
 
 def harness_factory(kind: str = "rocket", params=None,
                     golden_lanes: int = 0,
                     dut_lanes: int = 0) -> HarnessFactory:
-    """Picklable factory for any known harness kind.
+    """Picklable factory for any registered harness kind.
 
     The generic entry point fleet specs use
     (:class:`repro.fuzzing.fleet.CampaignSpec` accepts a kind string and
-    resolves it here), validating the kind at spec-build time rather than
-    inside a worker process.
+    resolves it here), validating the kind — and, when ``dut_lanes`` is
+    requested, the kind's batch-engine capability — at spec-build time
+    rather than inside a worker process.
     """
-    if kind not in HARNESS_KINDS:
+    engine = resolve_engine(kind)
+    if dut_lanes and engine.batch_cls is None:
         raise ValueError(
-            f"unknown harness kind: {kind!r} (expected one of {HARNESS_KINDS})"
-        )
-    if dut_lanes and kind != "rocket":
-        raise ValueError("dut_lanes requires the rocket harness")
+            f"dut_lanes requires a harness kind with a batch engine; "
+            f"{kind!r} declares none in ENGINE_REGISTRY")
     return HarnessFactory(kind, params, golden_lanes, dut_lanes)
 
 
@@ -284,6 +346,7 @@ def rocket_harness_factory(params=None, golden_lanes: int = 0,
     return HarnessFactory("rocket", params, golden_lanes, dut_lanes)
 
 
-def boom_harness_factory(params=None, golden_lanes: int = 0) -> HarnessFactory:
+def boom_harness_factory(params=None, golden_lanes: int = 0,
+                         dut_lanes: int = 0) -> HarnessFactory:
     """Picklable factory for :func:`make_boom_harness`."""
-    return HarnessFactory("boom", params, golden_lanes)
+    return HarnessFactory("boom", params, golden_lanes, dut_lanes)

@@ -312,6 +312,39 @@ class TestStreamingMode:
             runner.run_scheduled(mode="streaming")
 
 
+class TestMixedArmFleet:
+    """Heterogeneous fleet: one Rocket arm + one BOOM arm, both riding
+    their kind's batch engines (``golden_lanes=dut_lanes=8``)."""
+
+    def _specs(self, golden_lanes=0, dut_lanes=0):
+        return [
+            CampaignSpec("rocket-arm", fuzzer="thehuzz",
+                         fuzzer_config={"body_instructions": 16}, seed=5,
+                         harness="rocket", golden_lanes=golden_lanes,
+                         dut_lanes=dut_lanes, batch_size=8, budget_tests=24),
+            CampaignSpec("boom-arm", fuzzer="random",
+                         fuzzer_config={"body_instructions": 16}, seed=2,
+                         harness="boom", golden_lanes=golden_lanes,
+                         dut_lanes=dut_lanes, batch_size=8, budget_tests=24),
+        ]
+
+    def test_streaming_lanes_bit_identical_to_scalar(self):
+        """Vector lanes are a pure perf knob fleet-wide: every arm's
+        trace stream, curve and final coverage bitmap — hence any union
+        taken over them — must equal the all-scalar fleet's exactly."""
+        def run(**lanes):
+            with FleetRunner(self._specs(**lanes)) as fleet:
+                return fleet.run_scheduled(RoundRobin(), slice_tests=8,
+                                           mode="streaming")
+
+        scalar = run()
+        vector = run(golden_lanes=8, dut_lanes=8)
+        assert vector.campaigns == scalar.campaigns
+        for got, ref in zip(vector.campaigns, scalar.campaigns):
+            assert got.final_coverage == ref.final_coverage
+            assert got.mismatches == ref.mismatches
+
+
 class TestScheduling:
     def _arms(self, budget=160):
         """One strong arm and two weak ones (2-instruction random bodies

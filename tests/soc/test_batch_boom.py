@@ -1,0 +1,299 @@
+"""Parity suite for the batched BOOM engine (``repro.soc.batch_boom``).
+
+The scalar :class:`BoomCore` is the pinned reference: every test asserts
+the batched engine's ``CommitTrace``\\ s **and** ``CoverageReport``\\ s are
+bit-identical to it, lane for lane — through occupancy-drain churn, BTB
+divergence, trap chains, peel-rejoin boundaries, every lane width, and the
+graceful scalar fallbacks (numpy missing, tiny batches, exotic cache
+geometry).  Structure mirrors ``tests/soc/test_batch.py``; the targeted
+bodies swap in superscalar-specific stress (RAS over/underflow, queue
+pressure, wakeup bypass, drain-parity cutoffs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.random_regression import RandomRegressionGenerator
+from repro.baselines.thehuzz import TheHuzzGenerator
+from repro.coverage.calculator import CoverageCalculator
+from repro.coverage.reference import SetCoverageCalculator, SetCoverageReport
+from repro.isa import spec
+from repro.isa.encoder import encode
+from repro.soc import batch as batch_mod
+from repro.soc.batch import LANE_MIN
+from repro.soc.batch_boom import BoomBatchSimulator
+from repro.soc.boom.core import BoomCore
+from repro.soc.boom.params import BoomParams
+
+
+def assert_parity(bodies, params=None, base=spec.DRAM_BASE, lanes=32):
+    """Batched traces and reports must equal scalar ones exactly, in order."""
+    p = params or BoomParams()
+    scalar = BoomCore(p)
+    expected = [scalar.run(list(b), base) for b in bodies]
+    got = BoomBatchSimulator(p, lanes=lanes).run_batch(bodies, base)
+    assert len(got) == len(expected)
+    for i, ((rt, rr), (ot, orep)) in enumerate(zip(expected, got)):
+        assert ot.stop_reason == rt.stop_reason, f"lane {i}"
+        assert len(ot.entries) == len(rt.entries), f"lane {i}"
+        for j, (re_, oe) in enumerate(zip(rt.entries, ot.entries)):
+            assert oe == re_, f"lane {i} entry {j}:\n  ref {re_}\n  got {oe}"
+        assert orep.hits == rr.hits, f"lane {i} coverage"
+        assert orep.cycles == rr.cycles, f"lane {i} cycles"
+        assert orep.total_arms == rr.total_arms, f"lane {i}"
+    return expected, got
+
+
+# -- randomized property sweeps ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("body_len", [4, 24, 64])
+def test_random_bodies_parity(seed, body_len):
+    """Random regression bodies: branches, mem ops, traps, runaway loops."""
+    gen = RandomRegressionGenerator(body_instructions=body_len, seed=seed)
+    bodies = [t.words for t in gen.generate_batch(16)]
+    assert_parity(bodies)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_thehuzz_bodies_parity(seed):
+    """Mutation-shaped bodies exercise a different opcode mix."""
+    gen = TheHuzzGenerator(body_instructions=24, seed=seed)
+    bodies = [t.words for t in gen.generate_batch(12)]
+    assert_parity(bodies)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_coverage_matches_reference_set_engine(seed):
+    """Per-lane hit sets agree with the retained set engine, and both
+    calculators see identical coverage from the batched report stream."""
+    gen = RandomRegressionGenerator(body_instructions=24, seed=seed)
+    bodies = [t.words for t in gen.generate_batch(16)]
+    expected, got = assert_parity(bodies)
+    total_arms = expected[0][1].total_arms
+    bit_calc = CoverageCalculator(total_arms)
+    set_calc = SetCoverageCalculator(total_arms)
+    bit_calc.begin_batch()
+    set_calc.begin_batch()
+    for (_, ref_report), (_, out_report) in zip(expected, got):
+        set_report = SetCoverageReport(
+            hits=frozenset(int(a) for a in ref_report.hits),
+            total_arms=total_arms, cycles=ref_report.cycles)
+        assert out_report.hits == set_report.hits
+        bit_cov = bit_calc.observe(out_report)
+        set_cov = set_calc.observe(set_report)
+        assert bit_cov.incremental == set_cov.incremental
+        assert bit_cov.standalone == set_cov.standalone
+        assert bit_cov.total == set_cov.total
+    assert bit_calc.cumulative.count == set_calc.cumulative.count
+    assert bit_calc.total_percent == pytest.approx(set_calc.total_percent)
+
+
+@pytest.mark.parametrize("max_steps", [20, 23, 25, 4096])
+def test_max_steps_cutoffs_parity(max_steps):
+    """Cutoffs landing mid-trap-handler must truncate identically (BOOM
+    runs the handler as ordinary vector rounds, so the budget lands on the
+    exact same handler instruction)."""
+    gen = RandomRegressionGenerator(body_instructions=16, seed=4)
+    bodies = [t.words for t in gen.generate_batch(12)]
+    assert_parity(bodies, BoomParams(max_steps=max_steps))
+
+
+@pytest.mark.parametrize("max_traps", [1, 3, 64])
+def test_max_traps_cutoffs_parity(max_traps):
+    gen = RandomRegressionGenerator(body_instructions=16, seed=5)
+    bodies = [t.words for t in gen.generate_batch(12)]
+    assert_parity(bodies, BoomParams(max_traps=max_traps))
+
+
+def test_lane_widths_agree():
+    """The same batch must produce the same results at any lane width."""
+    gen = RandomRegressionGenerator(body_instructions=24, seed=6)
+    bodies = [t.words for t in gen.generate_batch(17)]  # odd: ragged groups
+    for lanes in (4, 8, 16, 64, 128):
+        assert_parity(bodies, lanes=lanes)
+
+
+def test_base_override_parity():
+    gen = RandomRegressionGenerator(body_instructions=8, seed=7)
+    bodies = [t.words for t in gen.generate_batch(8)]
+    assert_parity(bodies, base=spec.DRAM_BASE + 0x1000)
+
+
+@pytest.mark.parametrize("params", [
+    BoomParams(rob_entries=4, issue_queue_entries=2),
+    BoomParams(ldq_entries=1, stq_entries=1, ras_entries=1),
+    BoomParams(phys_regs=34, mispredict_penalty=3),
+], ids=["tiny-rob", "tiny-queues", "tight-freelist"])
+def test_param_variants_parity(params):
+    """Shrunken structures make the full/stall arms fire constantly —
+    maximum pressure on the occupancy kernels."""
+    gen = RandomRegressionGenerator(body_instructions=24, seed=10)
+    bodies = [t.words for t in gen.generate_batch(12)]
+    assert_parity(bodies, params)
+
+
+# -- targeted hard cases ------------------------------------------------------
+
+
+def _dram(rd=1):
+    return encode("lui", rd=rd, imm=0x80000)  # x[rd] = DRAM_BASE
+
+
+def _targeted_bodies() -> list[list[int]]:
+    lw = lambda rd, imm: encode("lw", rd=rd, rs1=1, imm=imm)
+    sw = lambda rs2, imm: encode("sw", rd=0, rs1=1, rs2=rs2, imm=imm)
+    return [
+        # Cache churn under 2-way geometry: eviction, LRU refresh, dirty
+        # writeback (same shapes as the Rocket suite).
+        [_dram(), lw(2, 0), lw(3, 256), lw(4, 512), lw(5, 0)],
+        [_dram(), sw(1, 0), sw(1, 256), lw(2, 512), lw(3, 768), lw(4, 0)],
+        [_dram(), lw(2, 0), lw(3, 256), lw(4, 0), lw(5, 512), lw(6, 256)],
+        # LSQ pressure: back-to-back stores then loads (stq/ldq fill,
+        # store-to-load forwarding window).
+        [_dram(), sw(1, 0), sw(1, 8), sw(1, 16), sw(1, 24),
+         lw(2, 0), lw(3, 8), lw(4, 16), lw(5, 24)],
+        # RAS: call/return nest deeper than the 2-entry stack (overflow),
+        # then return past empty (underflow).
+        [encode("jal", rd=1, imm=4),               # call
+         encode("jal", rd=1, imm=4),               # call (depth 2)
+         encode("jal", rd=1, imm=4),               # call (overflow)
+         encode("jalr", rd=0, rs1=1, imm=0),       # ret
+         encode("jalr", rd=0, rs1=1, imm=0)],      # ret
+        [encode("addi", rd=1, rs1=0, imm=0),       # x1 = 0: wild return
+         encode("jalr", rd=0, rs1=1, imm=0)],      # ret on empty RAS
+        # Wakeup bypass: tight dependency chains through x0 and non-x0.
+        [encode("addi", rd=1, rs1=0, imm=3),
+         encode("addi", rd=2, rs1=1, imm=1),       # rs1 bypass
+         encode("add", rd=3, rs1=2, rs2=2),        # both operands bypass
+         encode("addi", rd=0, rs1=3, imm=1),       # rd = x0
+         encode("addi", rd=4, rs1=0, imm=0)],
+        # Branch/BTB: a taken loop trains the counter to saturation, then
+        # a never-taken branch aliases the same BTB set.
+        [encode("addi", rd=1, rs1=0, imm=4),
+         encode("addi", rd=1, rs1=1, imm=-1),
+         encode("bne", rs1=1, rs2=0, imm=-4),      # backward taken loop
+         encode("beq", rs1=1, rs2=2, imm=8),       # not taken
+         encode("addi", rd=3, rs1=0, imm=9)],
+        [],                                              # empty body
+        [encode("wfi")],                                 # immediate halt
+        [encode("jal", rd=0, imm=0)],                    # tight loop: max_steps
+        [encode("jalr", rd=0, rs1=0, imm=0x700)],        # wild jump: trap chain
+        [0xFFFFFFFF, encode("addi", rd=1, rs1=0, imm=7)],  # illegal word
+        [0, 0, 0],                                       # zero words
+        [encode("addi", rd=1, rs1=0, imm=3),             # misaligned load
+         encode("lw", rd=2, rs1=1, imm=0)],
+        [encode("addi", rd=1, rs1=0, imm=2),             # misaligned jump tgt
+         encode("jalr", rd=0, rs1=1, imm=0)],
+        [_dram(),                                        # mapped atomic: peel
+         encode("amoadd.w", rd=2, rs1=1, rs2=3)],
+        [_dram(),                                        # lr/sc pair: peel
+         encode("lr.w", rd=2, rs1=1),
+         encode("sc.w", rd=3, rs1=1, rs2=2)],
+        [_dram(),                                        # peel, rejoin, then
+         encode("amoadd.w", rd=2, rs1=1, rs2=3),         # vector rounds, then
+         encode("addi", rd=4, rs1=2, imm=1),             # a second peel
+         encode("lr.w", rd=5, rs1=1),
+         encode("addi", rd=6, rs1=5, imm=1)],
+        [encode("ecall"), encode("addi", rd=1, rs1=0, imm=2)],
+        [encode("ebreak"), encode("addi", rd=1, rs1=0, imm=2)],
+        [encode("csrrs", rd=1, csr=spec.CSR_MCYCLE, rs1=0),   # counter CSRs
+         0xFFFFFFFF,                                          # ... over a trap
+         encode("csrrs", rd=2, csr=spec.CSR_MCYCLE, rs1=0),
+         encode("csrrw", rd=0, csr=spec.CSR_MCYCLE, rs1=2),
+         encode("csrrs", rd=3, csr=spec.CSR_MINSTRET, rs1=0)],
+        [encode("csrrw", rd=0, csr=spec.CSR_MEPC, rs1=5),     # mret round-trip
+         encode("mret"),
+         encode("addi", rd=6, rs1=0, imm=1)],
+        [encode("csrrw", rd=0, csr=spec.CSR_MTVEC, rs1=5),    # broken mtvec
+         0xFFFFFFFF],
+        [_dram(),                                        # self-modifying store
+         encode("sw", rd=0, rs1=1, rs2=0, imm=8)],
+        [encode("auipc", rd=1, imm=0x100),               # store over handler
+         encode("sd", rd=0, rs1=1, rs2=1, imm=0)],
+        [encode("mul", rd=1, rs1=2, rs2=3),              # mul/div latencies,
+         encode("mulh", rd=2, rs1=1, rs2=3),             # mul_high arm,
+         encode("div", rd=4, rs1=1, rs2=2),              # divide,
+         encode("div", rd=5, rs1=1, rs2=0),              # divide by zero
+         encode("rem", rd=6, rs1=1, rs2=2)],
+    ]
+
+
+@pytest.mark.parametrize("params", [
+    BoomParams(),
+    BoomParams(max_steps=20),
+    BoomParams(max_steps=23),
+    BoomParams(max_traps=1),
+], ids=["default", "steps20", "steps23", "traps1"])
+def test_targeted_cases_parity(params):
+    assert_parity(_targeted_bodies(), params)
+
+
+def test_mixed_divergent_batch_parity():
+    """One group mixing every targeted case with random filler — lanes
+    diverge maximally (halts, queue churn, peels, cutoffs in one group)."""
+    gen = RandomRegressionGenerator(body_instructions=32, seed=8)
+    bodies = _targeted_bodies() + [t.words for t in gen.generate_batch(16)]
+    assert_parity(bodies, lanes=64)
+
+
+def test_peel_rejoin_boundary_state():
+    """A lane that peels mid-group must rejoin with cache/predictor/queue
+    state the later vector rounds continue from exactly; neighbours riding
+    the vector path the whole time must be untouched by the splice."""
+    churn = [_dram(), encode("lw", rd=2, rs1=1, imm=0),
+             encode("amoadd.w", rd=3, rs1=1, rs2=2),
+             encode("lw", rd=4, rs1=1, imm=256),
+             encode("lw", rd=5, rs1=1, imm=512),
+             encode("lw", rd=6, rs1=1, imm=0)]
+    gen = RandomRegressionGenerator(body_instructions=12, seed=9)
+    filler = [t.words for t in gen.generate_batch(LANE_MIN + 2)]
+    bodies = filler[:3] + [churn] + filler[3:]
+    assert_parity(bodies, lanes=8)
+
+
+# -- scalar fallbacks ---------------------------------------------------------
+
+
+def test_fallback_numpy_unavailable(monkeypatch):
+    """Without numpy the batch API still works — via the scalar core."""
+    import repro.soc.batch_boom as batch_boom_mod
+    gen = RandomRegressionGenerator(body_instructions=8, seed=9)
+    bodies = [t.words for t in gen.generate_batch(8)]
+    monkeypatch.setattr(batch_mod, "_np", None)
+    monkeypatch.setattr(batch_boom_mod, "_np", None)
+    assert_parity(bodies)
+
+
+def test_fallback_below_lane_minimum():
+    bodies = [[encode("addi", rd=1, rs1=0, imm=i)] for i in range(LANE_MIN - 1)]
+    assert_parity(bodies)
+
+
+def test_fallback_exotic_cache_geometry():
+    """Non-2-way geometries stay on the retained scalar core."""
+    params = BoomParams(dcache_ways=4)
+    gen = RandomRegressionGenerator(body_instructions=12, seed=11)
+    bodies = [t.words for t in gen.generate_batch(8)]
+    sim = BoomBatchSimulator(params, lanes=8)
+    assert not sim._batchable([list(b) for b in bodies], spec.DRAM_BASE)
+    assert_parity(bodies, params)
+
+
+def test_ragged_tail_below_lane_minimum_runs_scalar():
+    """A final chunk shorter than LANE_MIN rides the scalar core; results
+    must still be seamless across the boundary."""
+    gen = RandomRegressionGenerator(body_instructions=8, seed=12)
+    bodies = [t.words for t in gen.generate_batch(9)]
+    assert_parity(bodies, lanes=8)  # 8 batched + 1 scalar tail
+
+
+def test_empty_batch():
+    assert BoomBatchSimulator().run_batch([]) == []
+
+
+def test_invalid_lanes_rejected():
+    with pytest.raises(ValueError):
+        BoomBatchSimulator(lanes=0)

@@ -27,6 +27,23 @@ class TestEquivalence:
             dut, gold, _ = harness.run_differential(engine.random_body(20))
             assert compare_traces(dut, gold) == []
 
+    def test_run_determinism_across_reuse(self):
+        """Re-running the same bodies on one core must be bit-identical —
+        no caches/predictor/queue state may leak between ``run`` calls
+        (the ``SetAssocCache`` LRU-stamp leak class).  Mirrors the Rocket
+        coverage-reset pin in ``tests/soc/test_harness.py``."""
+        engine = MutationEngine(seed=33)
+        bodies = [engine.random_body(24) for _ in range(6)]
+        core = BoomCore()
+        fresh = [BoomCore().run(list(b)) for b in bodies]
+        first = [core.run(list(b)) for b in bodies]
+        second = [core.run(list(b)) for b in bodies]
+        for (ft, fr), (t1, r1), (t2, r2) in zip(fresh, first, second):
+            assert t1.entries == t2.entries == ft.entries
+            assert t1.stop_reason == t2.stop_reason == ft.stop_reason
+            assert r1.hits == r2.hits == fr.hits
+            assert r1.cycles == r2.cycles == fr.cycles
+
 
 class TestCoverageProfile:
     def test_arm_count(self, harness):
